@@ -1,0 +1,306 @@
+// Command evalrunner regenerates the tables and figures of the paper's
+// evaluation section from the simulation, printing the same rows and
+// series the paper reports.
+//
+// Usage:
+//
+//	evalrunner [-fidelity quick|full] [-seed N] -exp <experiment>
+//
+// Experiments:
+//
+//	table1     stock beacon/sweep burst schedules
+//	fig5       azimuth-plane patterns of all 35 sectors
+//	fig6       spherical (3D) patterns
+//	fig7       angular estimation error vs probing sectors (lab + conference)
+//	fig8       selection stability vs probing sectors
+//	fig9       SNR loss vs probing sectors
+//	fig10      training time vs probing sectors
+//	fig11      expected throughput at -45/0/45 degrees
+//	headline   condensed headline numbers vs the paper
+//	ablations  the DESIGN.md ablation studies
+//	retraining the Section 7 retraining-cadence study under mobility
+//	blockage   backup sectors from multipath estimation under LOS blockage
+//	density    dense-deployment channel-pollution study
+//	densify    codebook densification study (CSS scales, SSW does not)
+//	all        everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"talon/internal/channel"
+	"talon/internal/eval"
+	"talon/internal/stats"
+)
+
+var (
+	fidelity = flag.String("fidelity", "full", "experiment fidelity: quick or full")
+	seed     = flag.Int64("seed", 42, "experiment seed")
+	exp      = flag.String("exp", "all", "experiment to run")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func pick() (eval.Fidelity, error) {
+	switch *fidelity {
+	case "quick":
+		return eval.Quick(), nil
+	case "full":
+		return eval.Full(), nil
+	}
+	return eval.Fidelity{}, fmt.Errorf("unknown fidelity %q", *fidelity)
+}
+
+func run() error {
+	f, err := pick()
+	if err != nil {
+		return err
+	}
+	switch *exp {
+	case "table1":
+		fmt.Print(eval.Table1().Format())
+		return nil
+	case "fig5":
+		return runFig5()
+	case "fig6":
+		return runFig6()
+	case "fig7", "fig8", "fig9", "headline":
+		study, err := runStudy(f)
+		if err != nil {
+			return err
+		}
+		switch *exp {
+		case "fig7":
+			fmt.Print(study.Figure7().Format())
+		case "fig8":
+			fmt.Print(study.Figure8().Format())
+		case "fig9":
+			fmt.Print(study.Figure9().Format())
+		case "headline":
+			fmt.Print(eval.ComputeHeadline(study).Format())
+		}
+		return nil
+	case "fig10":
+		fmt.Print(eval.Figure10().Format())
+		return nil
+	case "fig11":
+		study, err := runStudy(f)
+		if err != nil {
+			return err
+		}
+		return runFig11(study)
+	case "ablations":
+		study, err := runStudy(f)
+		if err != nil {
+			return err
+		}
+		return runAblations(study, f)
+	case "retraining":
+		study, err := runStudy(f)
+		if err != nil {
+			return err
+		}
+		return runRetraining(study)
+	case "blockage":
+		study, err := runStudy(f)
+		if err != nil {
+			return err
+		}
+		return runBlockage(study)
+	case "density":
+		fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
+		return nil
+	case "densify":
+		return runDensify()
+	case "all":
+		return runAll(f)
+	}
+	return fmt.Errorf("unknown experiment %q", *exp)
+}
+
+func runStudy(f eval.Fidelity) (*eval.EnvironmentStudy, error) {
+	fmt.Fprintf(os.Stderr, "running environment study (%s fidelity, seed %d)...\n", *fidelity, *seed)
+	start := time.Now()
+	study, err := eval.RunEnvironmentStudy(*seed, f)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "study finished in %v\n", time.Since(start).Round(time.Second))
+	return study, nil
+}
+
+func runFig5() error {
+	azStep := 0.9
+	repeats := 3
+	if *fidelity == "quick" {
+		azStep, repeats = 4.5, 1
+	}
+	r, err := eval.Figure5(*seed, azStep, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	strong, wide, weak := r.Classify()
+	fmt.Printf("strong unidirectional: %v\nmulti-lobe/wide:       %v\nlow gain:              %v\n", strong, wide, weak)
+	return nil
+}
+
+func runFig6() error {
+	azStep, elStep := 1.8, 3.6
+	repeats := 3
+	if *fidelity == "quick" {
+		azStep, elStep, repeats = 9, 10.8, 1
+	}
+	r, err := eval.Figure6(*seed, azStep, elStep, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	return nil
+}
+
+func runFig11(study *eval.EnvironmentStudy) error {
+	sweeps := 10
+	if *fidelity == "quick" {
+		sweeps = 4
+	}
+	r, err := eval.Figure11(study.Platform, 14, sweeps, stats.NewRNG(*seed).Split("fig11"))
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	return nil
+}
+
+func runAblations(study *eval.EnvironmentStudy, f eval.Fidelity) error {
+	rng := stats.NewRNG(*seed).Split("ablations")
+	traces, err := study.Platform.Scan(channel.ConferenceRoom(), 6, f.Conference)
+	if err != nil {
+		return err
+	}
+	subsets := f.SubsetsPerSweep
+	if joint, err := eval.AblationJointCorrelation(study.Platform, traces, 14, subsets, rng); err == nil {
+		fmt.Print(joint.Format())
+	} else {
+		return err
+	}
+	if ideal, err := eval.AblationMeasuredVsIdeal(study.Platform, traces, 14, subsets, rng); err == nil {
+		fmt.Print(ideal.Format())
+	} else {
+		return err
+	}
+	if sel, err := eval.AblationProbeSelection(study.Platform, traces, 14, subsets, rng); err == nil {
+		fmt.Print(sel.Format())
+	} else {
+		return err
+	}
+	if beams, err := eval.AblationRandomBeams(*seed, 6); err == nil {
+		fmt.Print(beams.Format())
+	} else {
+		return err
+	}
+	steps := 200
+	if *fidelity == "quick" {
+		steps = 60
+	}
+	adaptive, err := eval.AblationAdaptiveProbes(study.Platform, steps, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Print(adaptive.Format())
+	return nil
+}
+
+func runAll(f eval.Fidelity) error {
+	fmt.Print(eval.Table1().Format())
+	fmt.Println()
+	if err := runFig5(); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runFig6(); err != nil {
+		return err
+	}
+	fmt.Println()
+	study, err := runStudy(f)
+	if err != nil {
+		return err
+	}
+	fmt.Print(study.Figure7().Format())
+	fmt.Println()
+	fmt.Print(study.Figure8().Format())
+	fmt.Println()
+	fmt.Print(study.Figure9().Format())
+	fmt.Println()
+	fmt.Print(eval.Figure10().Format())
+	fmt.Println()
+	if err := runFig11(study); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(eval.ComputeHeadline(study).Format())
+	fmt.Println()
+	if err := runAblations(study, f); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runRetraining(study); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := runBlockage(study); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
+	fmt.Println()
+	return runDensify()
+}
+
+func runDensify() error {
+	trials := 120
+	if *fidelity == "quick" {
+		trials = 30
+	}
+	r, err := eval.DensifyStudy(*seed, 14, nil, trials, stats.NewRNG(*seed).Split("densify"))
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	return nil
+}
+
+func runBlockage(study *eval.EnvironmentStudy) error {
+	rounds := 30
+	if *fidelity == "quick" {
+		rounds = 10
+	}
+	r, err := eval.BlockageStudy(study.Platform, 24, rounds, stats.NewRNG(*seed).Split("blockage"))
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	return nil
+}
+
+func runRetraining(study *eval.EnvironmentStudy) error {
+	dur := 20 * time.Second
+	if *fidelity == "quick" {
+		dur = 6 * time.Second
+	}
+	r, err := eval.RetrainingStudy(study.Platform, 20, dur, stats.NewRNG(*seed).Split("retraining"))
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	return nil
+}

@@ -1,0 +1,171 @@
+// Command talondump is the tcpdump of the simulated testbed: it deploys
+// the paper's three-device Table 1 experiment — an AP and a station in
+// close proximity plus a third device in monitor mode — captures beacon
+// and sector-sweep frames, prints them tcpdump-style, optionally writes a
+// pcap file, and reconstructs the burst schedules from the capture
+// (Section 4.1's methodology).
+//
+// It can also decode an existing pcap file with -r.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"talon/internal/channel"
+	"talon/internal/dot11ad"
+	"talon/internal/geom"
+	"talon/internal/pcap"
+	"talon/internal/wil"
+)
+
+var (
+	seed    = flag.Int64("seed", 1, "device seed")
+	rounds  = flag.Int("rounds", 4, "beacon+sweep rounds to capture")
+	outFile = flag.String("o", "", "write the capture to this pcap file")
+	inFile  = flag.String("r", "", "decode an existing pcap file instead of capturing")
+	quiet   = flag.Bool("table-only", false, "only print the reconstructed schedules")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "talondump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if *inFile != "" {
+		return decodeFile(*inFile)
+	}
+	return capture()
+}
+
+func decodeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := pcap.NewReader(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "reading from file %s, link-type %d\n", path, r.LinkType())
+	var frames []*dot11ad.Frame
+	for {
+		pkt, err := r.Next()
+		if err != nil {
+			break
+		}
+		frame, err := dot11ad.DecodeFrame(pkt.Data)
+		if err != nil {
+			fmt.Printf("%12s  undecodable frame (%d bytes): %v\n", pkt.Time.Format("15:04:05.000"), len(pkt.Data), err)
+			continue
+		}
+		frames = append(frames, frame)
+		if !*quiet {
+			printFrame(float64(pkt.Time.UnixMicro())/1e6, frame)
+		}
+	}
+	printSchedules(frames)
+	return nil
+}
+
+func capture() error {
+	ap, err := wil.NewDevice(wil.Config{
+		Name: "ap", MAC: dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x01}, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	sta, err := wil.NewDevice(wil.Config{
+		Name: "sta", MAC: dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x02}, Seed: *seed + 1,
+		Pose: channel.Pose{Pos: geom.Point{X: 2, Z: 1.2}, Yaw: 180},
+	})
+	if err != nil {
+		return err
+	}
+	mon, err := wil.NewDevice(wil.Config{
+		Name: "monitor", MAC: dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x03}, Seed: *seed + 2,
+		Pose: channel.Pose{Pos: geom.Point{X: 1, Y: 1.5, Z: 1.2}, Yaw: -90},
+	})
+	if err != nil {
+		return err
+	}
+	apPose := channel.Pose{}
+	apPose.Pos.Z = 1.2
+	ap.SetPose(apPose)
+
+	link := wil.NewLink(channel.Lab(), ap, sta)
+	sniffer := link.AttachSniffer(mon)
+
+	for i := 0; i < *rounds; i++ {
+		if err := link.TransmitBeaconBurst(ap); err != nil {
+			return err
+		}
+		slots := dot11ad.SweepSchedule()
+		if _, err := link.RunSLS(ap, sta, slots, slots); err != nil {
+			return err
+		}
+	}
+
+	caps := sniffer.Captures()
+	fmt.Fprintf(os.Stderr, "monitor captured %d frames over %d rounds\n", len(caps), *rounds)
+	if !*quiet {
+		for _, c := range caps {
+			printFrame(c.Time.Seconds(), c.Frame)
+		}
+	}
+	printSchedules(sniffer.Frames())
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sniffer.WritePCAP(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "capture written to %s\n", *outFile)
+	}
+	return nil
+}
+
+func printFrame(ts float64, f *dot11ad.Frame) {
+	switch f.Type {
+	case dot11ad.TypeDMGBeacon:
+		fmt.Printf("%12.6f  %s > broadcast  DMG-Beacon  sector %2v cdown %2d bi %d TU\n",
+			ts, f.TA, f.SSW.SectorID, f.SSW.CDOWN, f.BeaconIntervalTU)
+	case dot11ad.TypeSSW:
+		dir := "ISS"
+		if f.SSW.Direction {
+			dir = "RSS"
+		}
+		fmt.Printf("%12.6f  %s > %s  SSW[%s]  sector %2v cdown %2d  fb sector %2v snr %.2f dB\n",
+			ts, f.TA, f.RA, dir, f.SSW.SectorID, f.SSW.CDOWN,
+			f.Feedback.SectorSelect, dot11ad.DecodeSNR(f.Feedback.SNRReport))
+	case dot11ad.TypeSSWFeedback, dot11ad.TypeSSWAck:
+		fmt.Printf("%12.6f  %s > %s  %s  sector %2v snr %.2f dB\n",
+			ts, f.TA, f.RA, f.Type, f.Feedback.SectorSelect, dot11ad.DecodeSNR(f.Feedback.SNRReport))
+	}
+}
+
+func printSchedules(frames []*dot11ad.Frame) {
+	beacon, sweep := dot11ad.ReconstructSchedules(frames)
+	fmt.Println("\nreconstructed schedules (Table 1 methodology):")
+	printObserved := func(name string, o *dot11ad.ObservedSchedule, ref []dot11ad.BurstSlot) {
+		fmt.Printf("  %s (%d frames, %d conflicts):\n    ", name, o.Frames, o.Conflicts)
+		for _, cd := range o.CDOWNs() {
+			fmt.Printf("%v@%d ", o.Sectors[cd], cd)
+		}
+		fmt.Println()
+		correct, missed, wrong := o.MatchAgainst(ref)
+		fmt.Printf("    vs firmware truth: %d correct, %d missed, %d wrong\n", correct, missed, wrong)
+	}
+	printObserved("beacon", beacon, dot11ad.BeaconSchedule())
+	printObserved("sweep", sweep, dot11ad.SweepSchedule())
+}

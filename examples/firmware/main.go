@@ -1,0 +1,103 @@
+// Firmware: the jailbreak workflow of Section 3 at API level. It walks
+// through the QCA9500's memory map (write-protected low code partitions,
+// writable high aliases), applies the two Nexmon-style patches, drives the
+// WMI command interface and reads the measurement ring buffer — the
+// plumbing underneath compressive sector selection on real hardware.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"talon"
+	"talon/internal/dot11ad"
+	"talon/internal/nexmon"
+	"talon/internal/wil"
+)
+
+func main() {
+	dut, err := talon.NewDevice(talon.DeviceConfig{Name: "router", Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	peer, err := talon.NewDevice(talon.DeviceConfig{Name: "peer", Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fw := dut.Firmware()
+	mem := fw.Memory()
+
+	fmt.Println("== memory map (Figure 1) ==")
+	for _, addr := range []uint32{nexmon.UcodeCodeBase, nexmon.UcodeDataBase, nexmon.FwCodeBase, nexmon.FwDataBase} {
+		name, _ := mem.RegionName(addr)
+		alias, _ := mem.AliasOf(addr)
+		fmt.Printf("  %-10s low %#08x  alias %#08x\n", name, addr, alias)
+	}
+
+	fmt.Println("\n== the write-protection discovery ==")
+	target := uint32(nexmon.UcodeCodeBase + 0x16000)
+	if err := mem.Write(target, []byte{0xde, 0xad}); err != nil {
+		fmt.Printf("  direct write fails:   %v\n", err)
+	}
+	alias, _ := mem.AliasOf(target)
+	if err := mem.Write(alias, []byte{0xde, 0xad}); err != nil {
+		log.Fatal(err)
+	}
+	back, _ := mem.Read(target, 2)
+	fmt.Printf("  via alias %#08x it lands, visible at %#08x: % x\n", alias, target, back)
+
+	fmt.Println("\n== applying the firmware patches ==")
+	for _, p := range []nexmon.Patch{wil.SweepDumpPatch(), wil.SectorOverridePatch()} {
+		if err := fw.ApplyPatch(p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  applied %-16s at %#08x\n", p.Name, p.Addr)
+	}
+
+	fmt.Println("\n== exercising the patched firmware over the air ==")
+	if err := peer.Jailbreak(); err != nil {
+		log.Fatal(err)
+	}
+	staPose := talon.Pose{Yaw: 180}
+	staPose.Pos.X = 3
+	peer.SetPose(staPose)
+	link := talon.NewLink(talon.AnechoicChamber(), dut, peer)
+	if _, err := link.RunTXSS(peer, dut, dot11ad.SweepSchedule()); err != nil {
+		log.Fatal(err)
+	}
+
+	// WMI: poll the ring-buffer sequence counter, then read the dump.
+	reply, err := fw.HandleWMI(wil.WMIGetSweepSeq, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  WMI sweep-seq reply: %d records\n", binary.LittleEndian.Uint32(reply))
+	recs, err := dut.SweepDump()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  ring buffer has %d entries; first three:\n", len(recs))
+	for _, r := range recs[:min(3, len(recs))] {
+		fmt.Printf("    seq %2d sector %2v  SNR %6.2f dB  RSSI %4.0f dBm\n", r.Seq, r.Sector, r.SNR, r.RSSI)
+	}
+
+	fmt.Println("\n== forcing the feedback sector via WMI ==")
+	if err := dut.ForceSector(24); err != nil {
+		log.Fatal(err)
+	}
+	id, ok := fw.FeedbackSector()
+	fmt.Printf("  feedback field now carries sector %v (ok=%v)\n", id, ok)
+	if err := dut.ClearForcedSector(); err != nil {
+		log.Fatal(err)
+	}
+	id, ok = fw.FeedbackSector()
+	fmt.Printf("  cleared: stock algorithm selects sector %v (ok=%v)\n", id, ok)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

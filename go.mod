@@ -1,0 +1,3 @@
+module talon
+
+go 1.22

@@ -1,0 +1,212 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"talon/internal/stats"
+)
+
+func newTalonArray(t testing.TB, seed int64) *Array {
+	t.Helper()
+	a, err := New(TalonConfig(), stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func cleanConfig() Config {
+	cfg := TalonConfig()
+	cfg.PhaseErrStd = 0
+	cfg.GainErrStdDB = 0
+	cfg.FrontRippleStdDB = 0
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := stats.NewRNG(1)
+	bad := []Config{
+		{NY: 0, NZ: 4, SpacingY: 0.5, SpacingZ: 0.5, PhaseBits: 2},
+		{NY: 8, NZ: -1, SpacingY: 0.5, SpacingZ: 0.5, PhaseBits: 2},
+		{NY: 8, NZ: 4, SpacingY: 0.5, SpacingZ: 0.5, PhaseBits: 0},
+		{NY: 8, NZ: 4, SpacingY: 0.5, SpacingZ: 0.5, PhaseBits: 9},
+		{NY: 8, NZ: 4, SpacingY: 0, SpacingZ: 0.5, PhaseBits: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, rng); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestTalonArrayShape(t *testing.T) {
+	a := newTalonArray(t, 1)
+	if a.NumElements() != 32 {
+		t.Fatalf("NumElements = %d, want 32", a.NumElements())
+	}
+	if a.PhaseStates() != 4 {
+		t.Fatalf("PhaseStates = %d, want 4 (2-bit)", a.PhaseStates())
+	}
+}
+
+func TestSteeringGainPeaksNearTarget(t *testing.T) {
+	a, err := New(cleanConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []float64{-60, -30, 0, 30, 60} {
+		w := a.SteeringWeights(target, 0)
+		// The realized peak should be within a few degrees of the target.
+		bestAz, bestGain := 0.0, math.Inf(-1)
+		for az := -90.0; az <= 90; az += 0.5 {
+			if g := a.Gain(w, az, 0); g > bestGain {
+				bestAz, bestGain = az, g
+			}
+		}
+		if math.Abs(bestAz-target) > 8 {
+			t.Errorf("steer %v°: peak at %v°", target, bestAz)
+		}
+		// Full-aperture boresight-ish beams must show array gain well
+		// above a single element.
+		if math.Abs(target) <= 30 && bestGain < 8 {
+			t.Errorf("steer %v°: peak gain %v dB too low", target, bestGain)
+		}
+	}
+}
+
+func TestGainArrayFactorBound(t *testing.T) {
+	// Power-normalized array gain over one element is at most
+	// 10·log10(N) for an error-free array (plus nothing at boresight).
+	a, err := New(cleanConfig(), stats.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.SteeringWeights(0, 0)
+	limit := 10*math.Log10(float64(a.NumElements())) + 1e-6
+	if g := a.Gain(w, 0, 0); g > limit {
+		t.Fatalf("boresight gain %v exceeds N-element bound %v", g, limit)
+	}
+}
+
+func TestGainMismatchedWeights(t *testing.T) {
+	a := newTalonArray(t, 1)
+	if g := a.Gain(Weights{}, 0, 0); !math.IsInf(g, -1) {
+		t.Fatalf("zero weights gain = %v, want -Inf", g)
+	}
+	w := NewWeights(a.NumElements())
+	for i := range w.On {
+		w.On[i] = false
+	}
+	if g := a.Gain(w, 0, 0); !math.IsInf(g, -1) {
+		t.Fatalf("all-off gain = %v, want -Inf", g)
+	}
+}
+
+func TestChassisBlockage(t *testing.T) {
+	a := newTalonArray(t, 2)
+	w := a.SteeringWeights(0, 0)
+	front := a.Gain(w, 0, 0)
+	back := a.Gain(w, 180, 0)
+	if front-back < 20 {
+		t.Fatalf("front/back ratio only %v dB", front-back)
+	}
+	// The mask must be continuous at its onset: no effect at 120°.
+	if d := a.chassisMaskDB(119.9, 0) - a.chassisMaskDB(120.1, 0); math.Abs(d) > 0.5 {
+		t.Fatalf("mask discontinuity at 120°: %v", d)
+	}
+}
+
+func TestPerDeviceVariation(t *testing.T) {
+	a1 := newTalonArray(t, 1)
+	a2 := newTalonArray(t, 2)
+	w := a1.SteeringWeights(20, 0)
+	diff := 0.0
+	for az := -60.0; az <= 60; az += 5 {
+		diff += math.Abs(a1.Gain(w, az, 0) - a2.Gain(w, az, 0))
+	}
+	if diff == 0 {
+		t.Fatal("two devices produced identical patterns")
+	}
+	// Same seed: identical device.
+	a3 := newTalonArray(t, 1)
+	for az := -60.0; az <= 60; az += 5 {
+		if a1.Gain(w, az, 0) != a3.Gain(w, az, 0) {
+			t.Fatal("same seed produced different device")
+		}
+	}
+}
+
+func TestQuantizePhase(t *testing.T) {
+	cases := []struct {
+		phase  float64
+		states int
+		want   uint8
+	}{
+		{0, 4, 0},
+		{math.Pi / 2, 4, 1},
+		{math.Pi, 4, 2},
+		{3 * math.Pi / 2, 4, 3},
+		{2 * math.Pi, 4, 0},
+		{-math.Pi / 2, 4, 3},
+		{0.4, 4, 0}, // rounds down to code 0
+		{0.9, 4, 1}, // rounds up to code 1
+	}
+	for _, c := range cases {
+		if got := quantizePhase(c.phase, c.states); got != c.want {
+			t.Errorf("quantizePhase(%v, %d) = %d, want %d", c.phase, c.states, got, c.want)
+		}
+	}
+}
+
+func TestQuantizePhaseInRangeProperty(t *testing.T) {
+	f := func(phase float64, statesRaw uint8) bool {
+		if math.IsNaN(phase) || math.IsInf(phase, 0) || math.Abs(phase) > 1e9 {
+			return true
+		}
+		states := int(statesRaw%7) + 2
+		code := quantizePhase(phase, states)
+		return int(code) < states
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomWeightsLowerGain(t *testing.T) {
+	// Random pseudo-beams must waste link budget compared to a steered
+	// beam — the paper's motivation for using predefined sectors.
+	a := newTalonArray(t, 3)
+	rng := stats.NewRNG(4)
+	steered := a.Gain(a.SteeringWeights(0, 0), 0, 0)
+	worst := 0
+	for i := 0; i < 30; i++ {
+		w := a.RandomWeights(rng)
+		best := math.Inf(-1)
+		for az := -90.0; az <= 90; az += 3 {
+			if g := a.Gain(w, az, 0); g > best {
+				best = g
+			}
+		}
+		if best < steered-3 {
+			worst++
+		}
+	}
+	if worst < 20 {
+		t.Fatalf("only %d/30 random beams clearly below steered gain", worst)
+	}
+}
+
+func TestWeightsClone(t *testing.T) {
+	w := NewWeights(4)
+	c := w.Clone()
+	c.Phase[0] = 3
+	c.On[1] = false
+	if w.Phase[0] == 3 || !w.On[1] {
+		t.Fatal("Clone shares storage")
+	}
+	if w.ActiveElements() != 4 {
+		t.Fatalf("ActiveElements = %d", w.ActiveElements())
+	}
+}

@@ -1,0 +1,305 @@
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"talon/internal/geom"
+	"talon/internal/pattern"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// Codebook maps sector IDs to the element weights the firmware programs
+// when transmitting on that sector. The codebook is part of the firmware
+// image: identical on every device of the model, while realized patterns
+// differ per device through the array's hardware errors.
+type Codebook struct {
+	weights map[sector.ID]Weights
+	order   []sector.ID
+}
+
+// NewCodebook returns an empty codebook.
+func NewCodebook() *Codebook {
+	return &Codebook{weights: make(map[sector.ID]Weights)}
+}
+
+// Put stores weights for id, replacing any previous entry.
+func (cb *Codebook) Put(id sector.ID, w Weights) {
+	if _, ok := cb.weights[id]; !ok {
+		cb.order = append(cb.order, id)
+	}
+	cb.weights[id] = w
+}
+
+// Weights returns the entry for id.
+func (cb *Codebook) Weights(id sector.ID) (Weights, bool) {
+	w, ok := cb.weights[id]
+	return w, ok
+}
+
+// IDs returns the sector IDs in insertion order. The returned slice must
+// not be modified.
+func (cb *Codebook) IDs() []sector.ID { return cb.order }
+
+// Len returns the number of sectors in the codebook.
+func (cb *Codebook) Len() int { return len(cb.weights) }
+
+// beamKind classifies the archetypes observed in the paper's Figure 5.
+type beamKind int
+
+const (
+	beamSteer beamKind = iota // single steered lobe
+	beamDual                  // two roughly equal lobes
+	beamWide                  // wide azimuth coverage, torus-like
+	beamWeak                  // low gain everywhere (scrambled)
+	beamQND                   // quasi-omni (receive) sector
+)
+
+// beamSpec describes one predefined sector.
+type beamSpec struct {
+	kind     beamKind
+	az, el   float64 // primary lobe steering
+	az2, el2 float64 // secondary lobe (beamDual)
+	cols     int     // active aperture columns; 0 = full
+}
+
+// talonSpecs reproduces the qualitative inventory of the Talon AD7200's
+// 35 predefined sectors as characterized in Section 4 of the paper:
+// strong unidirectional sectors (2, 8, 12, 20, 24, 63), multi-lobe sectors
+// (13, 22, 27), the wide sector 26, low-gain sectors (25, 62), sector 5
+// peaking above the azimuth plane, and a quasi-omni receive sector.
+var talonSpecs = map[sector.ID]beamSpec{
+	1:         {kind: beamSteer, az: -70, el: 0},
+	2:         {kind: beamSteer, az: -45, el: 0},
+	3:         {kind: beamSteer, az: -60, el: 8, cols: 6},
+	4:         {kind: beamSteer, az: -55, el: -5},
+	5:         {kind: beamSteer, az: 10, el: 28},
+	6:         {kind: beamSteer, az: -35, el: 5, cols: 6},
+	7:         {kind: beamSteer, az: -30, el: 0},
+	8:         {kind: beamSteer, az: -15, el: 0},
+	9:         {kind: beamSteer, az: -25, el: 10, cols: 6},
+	10:        {kind: beamSteer, az: -10, el: 5},
+	11:        {kind: beamSteer, az: -5, el: -8, cols: 6},
+	12:        {kind: beamSteer, az: 10, el: 0},
+	13:        {kind: beamDual, az: -50, el: 0, az2: 30, el2: 5},
+	14:        {kind: beamSteer, az: 15, el: 8, cols: 6},
+	15:        {kind: beamSteer, az: 20, el: 0},
+	16:        {kind: beamSteer, az: 25, el: -5, cols: 6},
+	17:        {kind: beamSteer, az: 30, el: 5},
+	18:        {kind: beamSteer, az: 35, el: 0, cols: 6},
+	19:        {kind: beamSteer, az: 40, el: 10},
+	20:        {kind: beamSteer, az: 45, el: 0},
+	21:        {kind: beamSteer, az: 50, el: 5, cols: 6},
+	22:        {kind: beamDual, az: -20, el: 0, az2: 55, el2: 0},
+	23:        {kind: beamSteer, az: 55, el: 0},
+	24:        {kind: beamSteer, az: 60, el: 0},
+	25:        {kind: beamWeak},
+	26:        {kind: beamWide},
+	27:        {kind: beamDual, az: -65, el: 0, az2: 10, el2: 10},
+	28:        {kind: beamSteer, az: 65, el: 5, cols: 6},
+	29:        {kind: beamSteer, az: 70, el: 0},
+	30:        {kind: beamSteer, az: 75, el: 8, cols: 6},
+	31:        {kind: beamSteer, az: -75, el: 5},
+	61:        {kind: beamSteer, az: 5, el: 15, cols: 4},
+	62:        {kind: beamWeak},
+	63:        {kind: beamSteer, az: 0, el: 0},
+	sector.RX: {kind: beamQND},
+}
+
+// Talon builds the firmware codebook of the simulated Talon AD7200 for
+// array a: the 34 transmit sectors plus the quasi-omni receive sector.
+// The codebook is deterministic (firmware content), independent of the
+// device's hardware errors.
+func Talon(a *Array) *Codebook {
+	cb := NewCodebook()
+	// Weak sectors use a fixed "firmware" seed so every device ships the
+	// same scrambled weights.
+	weakRNG := stats.NewRNG(0x7a10)
+	// Dual-lobe sectors are balanced against the nominal (error-free)
+	// hardware, as the chip vendor would: the reference array shares the
+	// geometry but has no per-device errors, keeping the codebook
+	// identical across devices.
+	ref := a.referenceArray()
+	for _, id := range sector.TalonAll() {
+		spec := talonSpecs[id]
+		cb.Put(id, a.specWeights(spec, ref, weakRNG))
+	}
+	return cb
+}
+
+// referenceArray returns the nominal, error-free array of this device's
+// configuration.
+func (a *Array) referenceArray() *Array {
+	cfg := a.cfg
+	cfg.PhaseErrStd = 0
+	cfg.GainErrStdDB = 0
+	cfg.FrontRippleStdDB = 0
+	ref, err := New(cfg, stats.NewRNG(0))
+	if err != nil {
+		// a was built from the same geometry, so this cannot happen.
+		panic(err)
+	}
+	return ref
+}
+
+func (a *Array) specWeights(spec beamSpec, ref *Array, weakRNG *stats.RNG) Weights {
+	switch spec.kind {
+	case beamSteer:
+		w := a.SteeringWeights(spec.az, spec.el)
+		if spec.cols > 0 {
+			a.maskColumns(&w, spec.cols)
+		}
+		return w
+	case beamDual:
+		return balancedDualLobe(ref, spec.az, spec.el, spec.az2, spec.el2)
+	case beamWide:
+		// A single vertical column: quasi-omni in azimuth with reduced
+		// gain off the elevation plane — the torus of sector 26.
+		w := NewWeights(a.NumElements())
+		mid := a.cfg.NY / 2
+		for k := range w.On {
+			w.On[k] = (k % a.cfg.NY) == mid
+		}
+		return w
+	case beamWeak:
+		// Scrambled phases at minimum element amplitude: low gain in
+		// every direction, as observed for sectors 25 and 62.
+		w := NewWeights(a.NumElements())
+		w.Amp = make([]uint8, a.NumElements())
+		for k := range w.Phase {
+			w.Phase[k] = uint8(weakRNG.Intn(a.PhaseStates()))
+			w.On[k] = weakRNG.Bool(0.4)
+			w.Amp[k] = uint8(weakRNG.Intn(2)) // codes 0..1: ≤ half amplitude
+		}
+		if w.ActiveElements() == 0 {
+			w.On[0] = true
+		}
+		return w
+	case beamQND:
+		// Quasi-omni: a single near-center element.
+		w := Weights{Phase: make([]uint8, a.NumElements()), On: make([]bool, a.NumElements())}
+		w.On[a.NumElements()/2] = true
+		return w
+	default:
+		panic(fmt.Sprintf("antenna: unknown beam kind %d", spec.kind))
+	}
+}
+
+// maskColumns keeps only the central cols aperture columns active,
+// broadening the azimuth beam.
+func (a *Array) maskColumns(w *Weights, cols int) {
+	if cols >= a.cfg.NY {
+		return
+	}
+	lo := (a.cfg.NY - cols) / 2
+	hi := lo + cols
+	for k := range w.On {
+		col := k % a.cfg.NY
+		if col < lo || col >= hi {
+			w.On[k] = false
+		}
+	}
+}
+
+// dualLobeWeights produces two lobes by phase-quantizing the superposition
+// of two steering vectors; beta weights the second lobe's amplitude before
+// quantization.
+func (a *Array) dualLobeWeights(az1, el1, az2, el2, beta float64) Weights {
+	w := NewWeights(a.NumElements())
+	d1 := geom.FromAngles(az1, el1)
+	d2 := geom.FromAngles(az2, el2)
+	states := a.PhaseStates()
+	for k := range w.Phase {
+		g1 := 2 * math.Pi * (d1.Y*a.posY[k] + d1.Z*a.posZ[k])
+		g2 := 2 * math.Pi * (d2.Y*a.posY[k] + d2.Z*a.posZ[k])
+		s := cmplx.Exp(complex(0, -g1)) + complex(beta, 0)*cmplx.Exp(complex(0, -g2))
+		w.Phase[k] = quantizePhase(cmplx.Phase(s), states)
+	}
+	return w
+}
+
+// balancedDualLobe searches the second-lobe amplitude weight that makes the
+// two realized lobes as equal-powered as possible on the nominal array,
+// matching the paper's observation of "multiple, equal powered lobes".
+func balancedDualLobe(ref *Array, az1, el1, az2, el2 float64) Weights {
+	var best Weights
+	bestScore := math.Inf(1)
+	for _, beta := range []float64{0.5, 0.7, 0.85, 1, 1.2, 1.5, 2, 2.5, 3.2, 4} {
+		w := ref.dualLobeWeights(az1, el1, az2, el2, beta)
+		g1 := ref.Gain(w, az1, el1)
+		g2 := ref.Gain(w, az2, el2)
+		// Prefer balanced lobes, then strong ones.
+		score := math.Abs(g1-g2) - 0.25*math.Min(g1, g2)
+		if score < bestScore {
+			bestScore, best = score, w
+		}
+	}
+	return best
+}
+
+// RandomCodebook builds n sectors of pseudo-random probing beams (IDs
+// 1..n), the approach of prior compressive-tracking work, for the ablation
+// study.
+func RandomCodebook(a *Array, rng *stats.RNG, n int) *Codebook {
+	cb := NewCodebook()
+	for i := 1; i <= n; i++ {
+		cb.Put(sector.ID(i), a.RandomWeights(rng))
+	}
+	return cb
+}
+
+// SamplePatterns evaluates the realized gain of every codebook sector on
+// grid using array a — the ground-truth patterns of this device, free of
+// measurement noise. (The testbed package reproduces the paper's noisy
+// chamber measurement of the same quantity.)
+func SamplePatterns(a *Array, cb *Codebook, grid *geom.Grid) *pattern.Set {
+	set := pattern.NewSet()
+	for _, id := range cb.IDs() {
+		w := cb.weights[id]
+		p := pattern.FromFunc(grid, func(az, el float64) float64 {
+			return a.Gain(w, az, el)
+		})
+		if err := set.Put(id, p); err != nil {
+			// Grids are identical by construction; this cannot happen.
+			panic(err)
+		}
+	}
+	return set
+}
+
+// DenseCodebook builds an enlarged sector inventory of n steered beams
+// (IDs 1..n, n ≤ 63 to fit the 6-bit on-air field) covering azimuth ±78°
+// in up to two elevation rows — the Section 7 scenario of future devices
+// with finer beam control. The quasi-omni RX sector is included under
+// sector.RX.
+func DenseCodebook(a *Array, n int) (*Codebook, error) {
+	if n < 2 || n > 63 {
+		return nil, fmt.Errorf("antenna: dense codebook size %d out of range [2, 63]", n)
+	}
+	cb := NewCodebook()
+	// Two elevation rows once the azimuth plane is dense enough.
+	rows := 1
+	if n >= 40 {
+		rows = 2
+	}
+	perRow := n / rows
+	idx := 0
+	for r := 0; r < rows; r++ {
+		el := float64(r) * 14
+		count := perRow
+		if r == rows-1 {
+			count = n - perRow*(rows-1)
+		}
+		for i := 0; i < count; i++ {
+			az := -78 + 156*float64(i)/float64(count-1)
+			idx++
+			cb.Put(sector.ID(idx), a.SteeringWeights(az, el))
+		}
+	}
+	w := Weights{Phase: make([]uint8, a.NumElements()), On: make([]bool, a.NumElements())}
+	w.On[a.NumElements()/2] = true
+	cb.Put(sector.RX, w)
+	return cb, nil
+}

@@ -1,0 +1,256 @@
+package antenna
+
+import (
+	"math"
+	"testing"
+
+	"talon/internal/geom"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+func talonSetup(t testing.TB, seed int64) (*Array, *Codebook) {
+	t.Helper()
+	a := newTalonArray(t, seed)
+	return a, Talon(a)
+}
+
+func TestTalonCodebookInventory(t *testing.T) {
+	_, cb := talonSetup(t, 1)
+	if cb.Len() != 35 {
+		t.Fatalf("Len = %d, want 35", cb.Len())
+	}
+	for _, id := range sector.TalonAll() {
+		if _, ok := cb.Weights(id); !ok {
+			t.Errorf("sector %v missing", id)
+		}
+	}
+	if _, ok := cb.Weights(40); ok {
+		t.Error("undefined sector 40 present")
+	}
+}
+
+func TestTalonCodebookDeterministic(t *testing.T) {
+	a1, cb1 := talonSetup(t, 1)
+	_, cb2 := talonSetup(t, 99) // different device, same firmware
+	_ = a1
+	for _, id := range sector.TalonAll() {
+		w1, _ := cb1.Weights(id)
+		w2, _ := cb2.Weights(id)
+		for k := range w1.Phase {
+			if w1.Phase[k] != w2.Phase[k] || w1.On[k] != w2.On[k] {
+				t.Fatalf("sector %v weights differ across devices", id)
+			}
+		}
+	}
+}
+
+func sampledPeak(a *Array, w Weights) (az, el, gain float64) {
+	az, el, gain = 0, 0, math.Inf(-1)
+	for e := 0.0; e <= 32; e += 4 {
+		for az2 := -90.0; az2 <= 90; az2 += 2 {
+			if g := a.Gain(w, az2, e); g > gain {
+				az, el, gain = az2, e, g
+			}
+		}
+	}
+	return az, el, gain
+}
+
+func TestStrongSectorsAreDirectional(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	for _, id := range []sector.ID{2, 8, 12, 20, 24, 63} {
+		w, _ := cb.Weights(id)
+		_, _, peak := sampledPeak(a, w)
+		spec := talonSpecs[id]
+		atTarget := a.Gain(w, spec.az, spec.el)
+		if peak < 8 {
+			t.Errorf("strong sector %v peak only %v dB", id, peak)
+		}
+		if atTarget < peak-6 {
+			t.Errorf("sector %v: gain at design target %v dB vs peak %v dB", id, atTarget, peak)
+		}
+	}
+}
+
+func TestWeakSectorsAreWeak(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	wStrong, _ := cb.Weights(63)
+	_, _, strongPeak := sampledPeak(a, wStrong)
+	for _, id := range []sector.ID{25, 62} {
+		w, _ := cb.Weights(id)
+		_, _, peak := sampledPeak(a, w)
+		if peak > strongPeak-5 {
+			t.Errorf("weak sector %v peak %v dB vs strong %v dB", id, peak, strongPeak)
+		}
+	}
+}
+
+func TestSector5PeaksAboveAzimuthPlane(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	w, _ := cb.Weights(5)
+	inPlane := math.Inf(-1)
+	for az := -90.0; az <= 90; az += 2 {
+		if g := a.Gain(w, az, 0); g > inPlane {
+			inPlane = g
+		}
+	}
+	_, el, peak := sampledPeak(a, w)
+	if el < 12 {
+		t.Errorf("sector 5 peak at elevation %v°, want above the plane", el)
+	}
+	if peak-inPlane < 2 {
+		t.Errorf("sector 5 elevated peak %v dB not above in-plane max %v dB", peak, inPlane)
+	}
+}
+
+func TestSector26IsWideTorus(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	w, _ := cb.Weights(26)
+	// Wide azimuth coverage in the plane...
+	covered := 0
+	for az := -90.0; az <= 90; az += 5 {
+		if a.Gain(w, az, 0) > -5 {
+			covered++
+		}
+	}
+	if covered < 25 {
+		t.Errorf("sector 26 covers only %d/37 azimuth samples in the plane", covered)
+	}
+	// ...and lower gain at high elevation (torus shape).
+	atPlane := a.Gain(w, 0, 0)
+	atHighEl := a.Gain(w, 0, 50)
+	if atPlane-atHighEl < 3 {
+		t.Errorf("sector 26 not torus-like: plane %v dB vs 50° el %v dB", atPlane, atHighEl)
+	}
+}
+
+func TestDualLobeSectors(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	for _, id := range []sector.ID{13, 22, 27} {
+		spec := talonSpecs[id]
+		w, _ := cb.Weights(id)
+		g1 := a.Gain(w, spec.az, spec.el)
+		g2 := a.Gain(w, spec.az2, spec.el2)
+		if math.Abs(g1-g2) > 8 {
+			t.Errorf("sector %v lobes unbalanced: %v vs %v dB", id, g1, g2)
+		}
+		if g1 < 0 || g2 < 0 {
+			t.Errorf("sector %v lobes too weak: %v / %v dB", id, g1, g2)
+		}
+	}
+}
+
+func TestRXQuasiOmni(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	w, _ := cb.Weights(sector.RX)
+	if w.ActiveElements() != 1 {
+		t.Fatalf("RX active elements = %d, want 1", w.ActiveElements())
+	}
+	// Coverage: gain variation across the front hemisphere stays small
+	// compared to a directional sector.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for az := -60.0; az <= 60; az += 5 {
+		g := a.Gain(w, az, 0)
+		lo, hi = math.Min(lo, g), math.Max(hi, g)
+	}
+	if hi-lo > 10 {
+		t.Fatalf("RX sector varies %v dB over ±60°", hi-lo)
+	}
+}
+
+func TestSamplePatterns(t *testing.T) {
+	a, cb := talonSetup(t, 1)
+	grid, err := geom.UniformGrid(-90, 90, 5, 0, 30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := SamplePatterns(a, cb, grid)
+	if set.Len() != 35 {
+		t.Fatalf("pattern set size = %d", set.Len())
+	}
+	p := set.Get(63)
+	if p == nil {
+		t.Fatal("sector 63 pattern missing")
+	}
+	az, _, _ := p.Peak()
+	if math.Abs(az) > 10 {
+		t.Fatalf("sector 63 pattern peak at az %v, want near 0", az)
+	}
+	if p.Missing() != 0 {
+		t.Fatalf("noiseless sampling left %d missing", p.Missing())
+	}
+}
+
+func TestRandomCodebook(t *testing.T) {
+	a := newTalonArray(t, 1)
+	cb := RandomCodebook(a, stats.NewRNG(7), 16)
+	if cb.Len() != 16 {
+		t.Fatalf("Len = %d", cb.Len())
+	}
+	for i := 1; i <= 16; i++ {
+		w, ok := cb.Weights(sector.ID(i))
+		if !ok {
+			t.Fatalf("sector %d missing", i)
+		}
+		if w.ActiveElements() != a.NumElements() {
+			t.Fatalf("random beam %d not all-on", i)
+		}
+	}
+}
+
+func TestCodebookOrderStable(t *testing.T) {
+	_, cb := talonSetup(t, 1)
+	ids := cb.IDs()
+	want := sector.TalonAll()
+	if len(ids) != len(want) {
+		t.Fatalf("IDs length %d", len(ids))
+	}
+	for i := range ids {
+		if ids[i] != want[i] {
+			t.Fatalf("IDs()[%d] = %v, want %v", i, ids[i], want[i])
+		}
+	}
+}
+
+func TestDenseCodebook(t *testing.T) {
+	a := newTalonArray(t, 1)
+	cb, err := DenseCodebook(a, 63)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Len() != 64 { // 63 TX + RX
+		t.Fatalf("Len = %d", cb.Len())
+	}
+	for i := 1; i <= 63; i++ {
+		w, ok := cb.Weights(sector.ID(i))
+		if !ok {
+			t.Fatalf("sector %d missing", i)
+		}
+		if w.ActiveElements() == 0 {
+			t.Fatalf("sector %d has no active elements", i)
+		}
+	}
+	// Beams must cover the front hemisphere densely: at every direction
+	// some sector reaches near-full array gain.
+	for az := -70.0; az <= 70; az += 7 {
+		best := math.Inf(-1)
+		for i := 1; i <= 63; i++ {
+			w, _ := cb.Weights(sector.ID(i))
+			if g := a.Gain(w, az, 0); g > best {
+				best = g
+			}
+		}
+		// The element envelope rolls off toward ±70°, so the bar is a
+		// little lower at the edges.
+		if best < 7 {
+			t.Errorf("coverage gap at %v°: best gain %v dB", az, best)
+		}
+	}
+	if _, err := DenseCodebook(a, 64); err == nil {
+		t.Error("64 sectors accepted (exceeds 6-bit ID space)")
+	}
+	if _, err := DenseCodebook(a, 1); err == nil {
+		t.Error("1 sector accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package channel
+
+// The three measurement locations of the paper. Coordinates put the link
+// along the x axis with the transmitter near the origin; callers choose
+// device positions inside the room footprint.
+
+// AnechoicChamber returns a reflection-free environment: the pattern
+// measurement campaign of Section 4 runs here.
+func AnechoicChamber() *Environment {
+	return &Environment{Name: "anechoic-chamber"}
+}
+
+// Lab returns the lab environment of Section 6 (devices 3 m apart): a
+// 6 m × 4 m room whose walls are lossy, so multipath exists but is weak.
+func Lab() *Environment {
+	const wallLoss = 16 // plasterboard / cluttered walls, dB per bounce
+	return &Environment{
+		Name: "lab",
+		Reflectors: []Reflector{
+			NewWallY("left-wall", 2.0, -1.5, 4.5, 0, 2.6, wallLoss),
+			NewWallY("right-wall", -2.0, -1.5, 4.5, 0, 2.6, wallLoss+2),
+			NewWallX("back-wall", -1.5, -2.0, 2.0, 0, 2.6, wallLoss+4),
+			NewWallX("front-wall", 4.5, -2.0, 2.0, 0, 2.6, wallLoss+4),
+		},
+	}
+}
+
+// ConferenceRoom returns the conference-room environment of Section 6
+// (devices 6 m apart): a larger room with "a couple of potential
+// reflectors such as white-boards", i.e. lower reflection loss and
+// therefore stronger multipath than the lab.
+func ConferenceRoom() *Environment {
+	const wallLoss = 17
+	const whiteboardLoss = 11 // smooth metal-backed boards reflect well
+	return &Environment{
+		Name: "conference-room",
+		Reflectors: []Reflector{
+			NewWallY("whiteboard-left", 2.5, 0.5, 4.5, 0.8, 2.0, whiteboardLoss),
+			NewWallY("whiteboard-right", -2.5, 1.0, 5.0, 0.8, 2.0, whiteboardLoss+1),
+			NewWallY("left-wall", 2.6, -2.0, 8.0, 0, 2.8, wallLoss),
+			NewWallY("right-wall", -2.6, -2.0, 8.0, 0, 2.8, wallLoss),
+			NewWallX("back-wall", -2.0, -2.6, 2.6, 0, 2.8, wallLoss+3),
+			NewWallX("front-wall", 8.0, -2.6, 2.6, 0, 2.8, wallLoss+3),
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "talon/internal/sector"
+
+// AdaptiveController implements the Section 7 extension: adapt the number
+// of probing sectors to the environment's dynamics. While consecutive
+// selections agree, the probe budget shrinks (static scene: few probes
+// validate the current setting); when the selection changes, the budget
+// grows to track the movement.
+type AdaptiveController struct {
+	// Min and Max bound the probe count.
+	Min, Max int
+	// GrowStep and ShrinkStep control the reaction speed.
+	GrowStep, ShrinkStep int
+
+	m        int
+	last     sector.ID
+	haveLast bool
+	stable   int
+}
+
+// NewAdaptiveController starts at the maximum probe count.
+func NewAdaptiveController(min, max int) *AdaptiveController {
+	if min < 2 {
+		min = 2
+	}
+	if max < min {
+		max = min
+	}
+	return &AdaptiveController{Min: min, Max: max, GrowStep: 4, ShrinkStep: 3, m: max}
+}
+
+// M returns the probe count to use for the next training.
+func (a *AdaptiveController) M() int { return a.m }
+
+// Observe feeds the outcome of a training round back into the controller.
+func (a *AdaptiveController) Observe(selected sector.ID) {
+	if a.haveLast && selected == a.last {
+		a.stable++
+		// Each agreeing round earns a budget reduction.
+		a.m -= a.ShrinkStep
+		if a.m < a.Min {
+			a.m = a.Min
+		}
+	} else {
+		a.stable = 0
+		a.m += a.GrowStep
+		if a.m > a.Max {
+			a.m = a.Max
+		}
+	}
+	a.last, a.haveLast = selected, true
+}

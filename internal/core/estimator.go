@@ -1,0 +1,329 @@
+// Package core implements the paper's contribution: compressive sector
+// selection (CSS) for off-the-shelf IEEE 802.11ad devices.
+//
+// Instead of sweeping all N sectors, CSS probes a subset of M sectors,
+// correlates the vector of received signal strengths against the measured
+// 3D sector patterns to estimate the angle of arrival (Eq. 2–3),
+// multiplies the SNR and RSSI correlations for robustness against the
+// firmware's decorrelated measurement outliers (Eq. 5), and finally picks
+// the sector with the strongest measured gain toward the estimated angle
+// out of all N sectors (Eq. 4).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"talon/internal/pattern"
+	"talon/internal/radio"
+	"talon/internal/sector"
+)
+
+// Probe is the outcome of probing one sector: the firmware's measurement,
+// or a miss (OK == false) when no report was produced.
+type Probe struct {
+	Sector sector.ID
+	Meas   radio.Measurement
+	OK     bool
+}
+
+// ProbesFromMeasurements assembles the probe vector for the sectors in
+// probed, marking sectors absent from meas as missing.
+func ProbesFromMeasurements(probed []sector.ID, meas map[sector.ID]radio.Measurement) []Probe {
+	out := make([]Probe, len(probed))
+	for i, id := range probed {
+		m, ok := meas[id]
+		out[i] = Probe{Sector: id, Meas: m, OK: ok}
+	}
+	return out
+}
+
+// Options tunes the estimator.
+type Options struct {
+	// SNROnly disables the Eq. 5 joint SNR·RSSI correlation and falls
+	// back to the plain Eq. 2/3 correlation on SNR alone (the ablation
+	// of Section 5).
+	SNROnly bool
+	// NoRefine disables the parabolic sub-grid refinement of the argmax,
+	// pinning estimates to grid resolution.
+	NoRefine bool
+	// FallbackCorr is the reliability threshold on the correlation
+	// maximum: when the best correlation falls below it, the angle
+	// estimate is considered unreliable and SelectSector falls back to
+	// the classic argmax over the probed sectors (a sub-sweep
+	// selection). Zero picks the default; negative disables fallback.
+	FallbackCorr float64
+	// NoImputeMissing excludes probed-but-unreported sectors from the
+	// correlation instead of imputing them at the sensitivity floor.
+	// A probe the firmware produced no report for almost always means
+	// the sector was too weak to decode — keeping it in the vector at
+	// floor level anti-correlates directions where that sector should
+	// have been strong, suppressing aliased estimates.
+	NoImputeMissing bool
+}
+
+// DefaultFallbackCorr is the default reliability threshold. Joint Eq. 5
+// correlations of consistent sweeps sit well above it; only degenerate
+// maxima (very few informative probes, heavy outliers) fall below, so
+// the fallback acts as a disaster guard rather than a second selector.
+const DefaultFallbackCorr = 0.25
+
+func (o Options) fallbackCorr() float64 {
+	switch {
+	case o.FallbackCorr < 0:
+		return 0
+	case o.FallbackCorr == 0:
+		return DefaultFallbackCorr
+	}
+	return o.FallbackCorr
+}
+
+// Estimator runs compressive angle-of-arrival estimation against a set of
+// measured sector patterns. It is safe for concurrent use.
+type Estimator struct {
+	patterns *pattern.Set
+	opts     Options
+}
+
+// NewEstimator builds an estimator over the measured patterns. The set
+// must contain at least two transmit sectors.
+func NewEstimator(patterns *pattern.Set, opts Options) (*Estimator, error) {
+	if patterns == nil || len(patterns.TXIDs()) < 2 {
+		return nil, errors.New("core: estimator needs a pattern set with at least 2 TX sectors")
+	}
+	return &Estimator{patterns: patterns, opts: opts}, nil
+}
+
+// Patterns returns the pattern set the estimator searches.
+func (e *Estimator) Patterns() *pattern.Set { return e.patterns }
+
+// AoAEstimate is the result of the angle-of-arrival search.
+type AoAEstimate struct {
+	// Az and El are the estimated arrival angles in degrees.
+	Az, El float64
+	// Corr is the correlation value at the maximum (product of the SNR
+	// and RSSI correlations unless SNROnly).
+	Corr float64
+	// Used is the number of probes that carried a measurement.
+	Used int
+}
+
+// amp converts a dB reading to linear amplitude (10^(dB/20)). The
+// correlation works on amplitudes rather than powers: a reading that is
+// off by k dB then perturbs its vector component by 10^(k/20) instead of
+// 10^(k/10), which keeps the occasional severe firmware outlier from
+// dominating the normalized inner product.
+func amp(db float64) float64 { return math.Pow(10, db/20) }
+
+// gatherVectors converts probes into linear-amplitude measurement
+// vectors. Unless disabled, probed-but-unreported sectors are imputed
+// slightly below the faintest reported reading: no report means the
+// sector was (almost always) below decode sensitivity, which is
+// information the correlation should use.
+func (e *Estimator) gatherVectors(probes []Probe) (ids []sector.ID, snrLin, rssiLin []float64, reported int) {
+	minSNR, minRSSI := math.Inf(1), math.Inf(1)
+	for _, p := range probes {
+		if !p.OK {
+			continue
+		}
+		reported++
+		if p.Meas.SNR < minSNR {
+			minSNR = p.Meas.SNR
+		}
+		if p.Meas.RSSI < minRSSI {
+			minRSSI = p.Meas.RSSI
+		}
+	}
+	impute := !e.opts.NoImputeMissing && reported > 0
+	for _, p := range probes {
+		switch {
+		case p.OK:
+			ids = append(ids, p.Sector)
+			snrLin = append(snrLin, amp(p.Meas.SNR))
+			rssiLin = append(rssiLin, amp(p.Meas.RSSI))
+		case impute:
+			ids = append(ids, p.Sector)
+			snrLin = append(snrLin, amp(minSNR-1))
+			rssiLin = append(rssiLin, amp(minRSSI-1))
+		}
+	}
+	return ids, snrLin, rssiLin, reported
+}
+
+// correlate implements Eq. 2: the squared normalized correlation of the
+// measurement vector with the expected pattern gains at (az, el),
+// computed in its centered (Pearson) form. Centering matters on real
+// hardware: directions where every probed sector has a similar expected
+// gain ("flat" pattern regions behind lobes or at high elevation) would
+// otherwise correlate spuriously well with any near-uniform measurement
+// vector and attract the argmax. Sectors whose pattern value is missing
+// at the point are skipped; fewer than three usable components yield 0.
+func (e *Estimator) correlate(ids []sector.ID, lin []float64, az, el float64) float64 {
+	var xs, ps [64]float64
+	used := 0
+	var sumP, sumX float64
+	for i, id := range ids {
+		p := e.patterns.Get(id)
+		if p == nil {
+			continue
+		}
+		g := p.At(az, el)
+		if math.IsNaN(g) {
+			continue
+		}
+		x := amp(g)
+		if used >= len(xs) {
+			break
+		}
+		ps[used], xs[used] = lin[i], x
+		sumP += lin[i]
+		sumX += x
+		used++
+	}
+	if used < 3 {
+		return 0
+	}
+	meanP, meanX := sumP/float64(used), sumX/float64(used)
+	var dot, nm, nx float64
+	for i := 0; i < used; i++ {
+		dp, dx := ps[i]-meanP, xs[i]-meanX
+		dot += dp * dx
+		nm += dp * dp
+		nx += dx * dx
+	}
+	if nm == 0 || nx == 0 {
+		return 0
+	}
+	w := dot * dot / (nm * nx)
+	if dot < 0 {
+		// Anti-correlated shapes are no evidence for this direction.
+		return 0
+	}
+	return w
+}
+
+// Correlation evaluates the (joint) correlation of probes at one
+// direction: Eq. 2 on SNR, multiplied by the RSSI correlation per Eq. 5
+// unless SNROnly is set.
+func (e *Estimator) Correlation(probes []Probe, az, el float64) float64 {
+	ids, snrLin, rssiLin, _ := e.gatherVectors(probes)
+	w := e.correlate(ids, snrLin, az, el)
+	if e.opts.SNROnly {
+		return w
+	}
+	return w * e.correlate(ids, rssiLin, az, el)
+}
+
+// EstimateAoA maximizes the correlation over the pattern grid (Eq. 3),
+// optionally refining the maximum between grid points.
+func (e *Estimator) EstimateAoA(probes []Probe) (AoAEstimate, error) {
+	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
+	if reported < 2 {
+		return AoAEstimate{}, fmt.Errorf("core: need at least 2 reported probes, have %d", reported)
+	}
+	anyPattern := e.patterns.Get(ids[0])
+	if anyPattern == nil {
+		for _, id := range e.patterns.IDs() {
+			if p := e.patterns.Get(id); p != nil {
+				anyPattern = p
+				break
+			}
+		}
+	}
+	if anyPattern == nil {
+		return AoAEstimate{}, errors.New("core: empty pattern set")
+	}
+	grid := anyPattern.Grid()
+	azAxis, elAxis := grid.Az(), grid.El()
+
+	// Correlation surface over the grid.
+	w := make([][]float64, len(elAxis))
+	bestA, bestE, bestW := 0, 0, -1.0
+	for ei, el := range elAxis {
+		row := make([]float64, len(azAxis))
+		for ai, az := range azAxis {
+			v := e.correlate(ids, snrLin, az, el)
+			if !e.opts.SNROnly {
+				v *= e.correlate(ids, rssiLin, az, el)
+			}
+			row[ai] = v
+			if v > bestW {
+				bestA, bestE, bestW = ai, ei, v
+			}
+		}
+		w[ei] = row
+	}
+	if bestW <= 0 {
+		return AoAEstimate{}, errors.New("core: correlation surface is degenerate")
+	}
+
+	az, el := azAxis[bestA], elAxis[bestE]
+	if !e.opts.NoRefine {
+		az = refineAxis(azAxis, bestA, func(i int) float64 { return w[bestE][i] })
+		el = refineAxis(elAxis, bestE, func(i int) float64 { return w[i][bestA] })
+	}
+	return AoAEstimate{Az: az, El: el, Corr: bestW, Used: reported}, nil
+}
+
+// refineAxis sharpens the argmax along one axis with a parabolic fit
+// through the peak sample and its neighbours.
+func refineAxis(axis []float64, i int, at func(int) float64) float64 {
+	if i <= 0 || i >= len(axis)-1 {
+		return axis[i]
+	}
+	y0, y1, y2 := at(i-1), at(i), at(i+1)
+	den := y0 - 2*y1 + y2
+	if den >= 0 { // not a local maximum shape
+		return axis[i]
+	}
+	d := 0.5 * (y0 - y2) / den
+	if d < -0.5 {
+		d = -0.5
+	}
+	if d > 0.5 {
+		d = 0.5
+	}
+	// Assume locally uniform spacing.
+	step := (axis[i+1] - axis[i-1]) / 2
+	return axis[i] + d*step
+}
+
+// Selection is the outcome of compressive sector selection.
+type Selection struct {
+	// Sector is the chosen transmit sector (Eq. 4).
+	Sector sector.ID
+	// Gain is the chosen sector's measured-pattern gain toward the
+	// estimated angle, in dB (NaN for fallback selections).
+	Gain float64
+	// AoA is the underlying angle estimate (zero for fallback
+	// selections made without a usable estimate).
+	AoA AoAEstimate
+	// Fallback marks selections that did not trust the angle estimate
+	// and used the probed-sector argmax instead.
+	Fallback bool
+}
+
+// SelectSector runs the full CSS pipeline: estimate the angle of arrival
+// from the probes and choose the best of all N sectors toward it (Eq. 4).
+// When the correlation maximum is too weak to be trusted — or no estimate
+// is possible at all — the selection falls back to the classic argmax
+// over the probed sectors.
+func (e *Estimator) SelectSector(probes []Probe) (Selection, error) {
+	aoa, err := e.EstimateAoA(probes)
+	if err != nil || aoa.Corr < e.opts.fallbackCorr() {
+		id, ok := SweepSelect(probes)
+		if !ok {
+			if err != nil {
+				return Selection{}, err
+			}
+			return Selection{}, errors.New("core: no probe reported a measurement")
+		}
+		return Selection{Sector: id, Gain: math.NaN(), AoA: aoa, Fallback: true}, nil
+	}
+	id, gain := e.patterns.BestSector(aoa.Az, aoa.El)
+	if math.IsNaN(gain) {
+		return Selection{}, errors.New("core: pattern set has no usable TX sector")
+	}
+	return Selection{Sector: id, Gain: gain, AoA: aoa}, nil
+}

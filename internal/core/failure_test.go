@@ -1,0 +1,159 @@
+package core
+
+// Failure-injection tests for the estimator: degenerate measurements,
+// broken pattern sets, hostile readings.
+
+import (
+	"math"
+	"testing"
+
+	"talon/internal/geom"
+	"talon/internal/pattern"
+	"talon/internal/radio"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+func TestEstimatorAllProbesMissing(t *testing.T) {
+	set, _ := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	probes := make([]Probe, 14)
+	for i := range probes {
+		probes[i] = Probe{Sector: sector.ID(i + 1)}
+	}
+	if _, err := est.EstimateAoA(probes); err == nil {
+		t.Fatal("all-missing probes estimated")
+	}
+	if _, err := est.SelectSector(probes); err == nil {
+		t.Fatal("all-missing probes selected")
+	}
+}
+
+func TestEstimatorConstantReadings(t *testing.T) {
+	// All probes read the exact same value: the centered correlation is
+	// degenerate everywhere; selection must fall back, not panic.
+	set, _ := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	probes := make([]Probe, 12)
+	for i := range probes {
+		probes[i] = Probe{
+			Sector: sector.ID(i + 1),
+			Meas:   radio.Measurement{SNR: 3, RSSI: -65},
+			OK:     true,
+		}
+	}
+	sel, err := est.SelectSector(probes)
+	if err != nil {
+		t.Fatalf("constant readings not handled: %v", err)
+	}
+	if !sel.Fallback {
+		t.Fatal("constant readings did not trigger the fallback")
+	}
+}
+
+func TestEstimatorHostileOutliers(t *testing.T) {
+	// Every reading replaced by an adversarial extreme: selection still
+	// returns a valid sector (quality degraded, but never a crash or an
+	// invalid ID).
+	set, gain := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	rng := stats.NewRNG(1)
+	probes := observe(t, gain, sector.TalonTX(), 0, 5, quietModel(), rng)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i].Meas.SNR = radio.SNRMaxDB
+			probes[i].Meas.RSSI = -20
+		} else {
+			probes[i].Meas.SNR = radio.SNRMinDB
+			probes[i].Meas.RSSI = -110
+		}
+	}
+	sel, err := est.SelectSector(probes)
+	if err != nil {
+		t.Fatalf("hostile readings: %v", err)
+	}
+	if !sector.IsTalonTX(sel.Sector) {
+		t.Fatalf("invalid sector %v", sel.Sector)
+	}
+}
+
+func TestEstimatorPatternsWithHoles(t *testing.T) {
+	// A pattern set with NaN holes (unprocessed campaign data) must not
+	// break the correlation.
+	grid, err := geom.UniformGrid(-60, 60, 5, 0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := pattern.NewSet()
+	for i := 1; i <= 8; i++ {
+		id := sector.ID(i)
+		center := -50 + float64(i)*12
+		p := pattern.FromFunc(grid, func(az, el float64) float64 {
+			return 10 - (az-center)*(az-center)/50
+		})
+		// Punch holes.
+		p.Set(i, 0, math.NaN())
+		p.Set(i+3, 1, math.NaN())
+		if err := set.Put(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []Probe{
+		{Sector: 2, Meas: radio.Measurement{SNR: 9, RSSI: -62}, OK: true},
+		{Sector: 4, Meas: radio.Measurement{SNR: 4, RSSI: -68}, OK: true},
+		{Sector: 6, Meas: radio.Measurement{SNR: -2, RSSI: -74}, OK: true},
+		{Sector: 8, Meas: radio.Measurement{SNR: -6, RSSI: -78}, OK: true},
+	}
+	if _, err := est.EstimateAoA(probes); err != nil {
+		t.Fatalf("holey patterns: %v", err)
+	}
+}
+
+func TestEstimatorProbeForUnknownSector(t *testing.T) {
+	// Probes referencing sectors missing from the pattern set are
+	// skipped, not fatal.
+	set, gain := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	rng := stats.NewRNG(2)
+	probes := observe(t, gain, sector.TalonTX()[:8], -60, 5, quietModel(), rng)
+	probes = append(probes, Probe{Sector: 50, Meas: radio.Measurement{SNR: 11}, OK: true})
+	if _, err := est.EstimateAoA(probes); err != nil {
+		t.Fatalf("unknown-sector probe: %v", err)
+	}
+}
+
+func TestSweepSelectNaNReadings(t *testing.T) {
+	probes := []Probe{
+		{Sector: 1, Meas: radio.Measurement{SNR: math.NaN()}, OK: true},
+		{Sector: 2, Meas: radio.Measurement{SNR: 4}, OK: true},
+	}
+	id, ok := SweepSelect(probes)
+	if !ok || id != 2 {
+		t.Fatalf("NaN reading mishandled: %v %v", id, ok)
+	}
+}
+
+func TestMultipathDegenerateVector(t *testing.T) {
+	set, _ := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	probes := []Probe{
+		{Sector: 1, Meas: radio.Measurement{SNR: 0, RSSI: -70}, OK: true},
+		{Sector: 2, Meas: radio.Measurement{SNR: 0, RSSI: -70}, OK: true},
+		{Sector: 3, Meas: radio.Measurement{SNR: 0, RSSI: -70}, OK: true},
+	}
+	if _, err := est.EstimateMultipath(probes, 3, 15, 0.2); err == nil {
+		t.Log("degenerate multipath accepted (flat surface) — acceptable if peaks are sane")
+	}
+	// SelectWithBackup must degrade gracefully either way.
+	sel, err := est.SelectWithBackup(probes, 15)
+	if err != nil {
+		t.Fatalf("SelectWithBackup on degenerate vector: %v", err)
+	}
+	if sel.HasBackup && sel.Backup.Sector == sel.Primary.Sector {
+		t.Fatal("backup equals primary")
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"talon/internal/radio"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// twoPathObserve produces probe readings for a channel with two discrete
+// paths: per sector the received power is the sum of the two paths'
+// pattern gains (secondary attenuated by atten dB).
+func twoPathObserve(t testing.TB, gain func(sector.ID, float64, float64) float64,
+	probed []sector.ID, az1, el1, az2, el2, attenDB float64,
+	model radio.MeasurementModel, rng *stats.RNG) []Probe {
+	t.Helper()
+	probes := make([]Probe, 0, len(probed))
+	for _, id := range probed {
+		p1 := math.Pow(10, gain(id, az1, el1)/10)
+		p2 := math.Pow(10, (gain(id, az2, el2)-attenDB)/10)
+		snr := 10 * math.Log10(p1+p2)
+		m, ok := model.Observe(snr, rng)
+		probes = append(probes, Probe{Sector: id, Meas: m, OK: ok})
+	}
+	return probes
+}
+
+func TestEstimateMultipathTwoPaths(t *testing.T) {
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(1)
+	model := quietModel()
+	const az1, el1 = -40.0, 5.0
+	const az2, el2 = 35.0, 10.0
+	found1, found2 := 0, 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		probes := twoPathObserve(t, gain, sector.TalonTX(), az1, el1, az2, el2, 4, model, rng)
+		peaks, err := est.EstimateMultipath(probes, 3, 20, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(peaks) < 1 {
+			t.Fatal("no peaks")
+		}
+		// Peaks come in detection order; each must carry a positive
+		// correlation. (After interference cancellation a later peak's
+		// correlation may legitimately exceed the first one's.)
+		for _, pk := range peaks {
+			if pk.Corr <= 0 {
+				t.Fatal("non-positive peak correlation")
+			}
+		}
+		for _, pk := range peaks {
+			if math.Abs(pk.Az-az1) < 10 {
+				found1++
+			}
+			if math.Abs(pk.Az-az2) < 10 {
+				found2++
+			}
+		}
+	}
+	if found1 < trials*3/4 {
+		t.Errorf("primary path found in %d/%d trials", found1, trials)
+	}
+	if found2 < trials/2 {
+		t.Errorf("secondary path found in %d/%d trials", found2, trials)
+	}
+}
+
+func TestEstimateMultipathSeparation(t *testing.T) {
+	set, gain := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	rng := stats.NewRNG(2)
+	probes := twoPathObserve(t, gain, sector.TalonTX(), -30, 5, 40, 8, 5, quietModel(), rng)
+	peaks, err := est.EstimateMultipath(probes, 3, 25, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(peaks); i++ {
+		for j := i + 1; j < len(peaks); j++ {
+			d := math.Abs(peaks[i].Az - peaks[j].Az)
+			if d < 20 && math.Abs(peaks[i].El-peaks[j].El) < 20 {
+				t.Fatalf("peaks %d and %d too close: %+v %+v", i, j, peaks[i], peaks[j])
+			}
+		}
+	}
+}
+
+func TestEstimateMultipathValidation(t *testing.T) {
+	set, _ := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	if _, err := est.EstimateMultipath(nil, 0, 10, 0.3); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := est.EstimateMultipath(nil, 2, 10, 0.3); err == nil {
+		t.Error("no probes accepted")
+	}
+}
+
+func TestSelectWithBackup(t *testing.T) {
+	set, gain := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	rng := stats.NewRNG(3)
+	model := quietModel()
+	gotBackup := 0
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		probes := twoPathObserve(t, gain, sector.TalonTX(), -40, 5, 35, 10, 4, model, rng)
+		sel, err := est.SelectWithBackup(probes, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sector.IsTalonTX(sel.Primary.Sector) {
+			t.Fatalf("primary %v not a TX sector", sel.Primary.Sector)
+		}
+		if sel.HasBackup {
+			gotBackup++
+			if sel.Backup.Sector == sel.Primary.Sector {
+				t.Fatal("backup equals primary")
+			}
+			// The backup must point at the secondary path: strong gain
+			// toward it.
+			if g := gain(sel.Backup.Sector, 35, 10); g < 0 {
+				t.Fatalf("backup sector %v has gain %v toward the secondary path", sel.Backup.Sector, g)
+			}
+		}
+	}
+	if gotBackup < trials/2 {
+		t.Fatalf("backup found in only %d/%d trials", gotBackup, trials)
+	}
+}
+
+func TestSelectWithBackupSinglePath(t *testing.T) {
+	// A clean single-path scene must still produce a primary; a backup
+	// is optional but must never equal the primary.
+	set, gain := synthSetup(t)
+	est, _ := NewEstimator(set, Options{})
+	rng := stats.NewRNG(4)
+	probes := observe(t, gain, sector.TalonTX(), 10, 5, quietModel(), rng)
+	sel, err := est.SelectWithBackup(probes, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gain(sel.Primary.Sector, 10, 5); got < 5 {
+		t.Fatalf("primary gain %v toward truth", got)
+	}
+	if sel.HasBackup && sel.Backup.Sector == sel.Primary.Sector {
+		t.Fatal("backup equals primary")
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"talon/internal/pattern"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// RandomProbes draws a uniform random subset of m sectors from available —
+// the probing-set strategy evaluated in the paper. It returns an error if
+// m is out of range.
+func RandomProbes(rng *stats.RNG, available []sector.ID, m int) (*sector.Set, error) {
+	if m < 2 || m > len(available) {
+		return nil, fmt.Errorf("core: probe count %d out of range [2, %d]", m, len(available))
+	}
+	idx := rng.Sample(len(available), m)
+	sort.Ints(idx) // keep stock sweep order
+	ids := make([]sector.ID, m)
+	for i, j := range idx {
+		ids[i] = available[j]
+	}
+	return sector.NewSet(ids...), nil
+}
+
+// GainInformedProbes picks m probing sectors by codebook knowledge rather
+// than randomly (the Section 7 discussion): it greedily prefers sectors
+// with high peak gain and mutually distant peak directions, skipping
+// low-gain sectors that contribute little information.
+func GainInformedProbes(patterns *pattern.Set, m int) (*sector.Set, error) {
+	tx := patterns.TXIDs()
+	if m < 2 || m > len(tx) {
+		return nil, fmt.Errorf("core: probe count %d out of range [2, %d]", m, len(tx))
+	}
+	type cand struct {
+		id           sector.ID
+		az, el, gain float64
+	}
+	cands := make([]cand, 0, len(tx))
+	for _, id := range tx {
+		az, el, g := patterns.Get(id).Peak()
+		cands = append(cands, cand{id: id, az: az, el: el, gain: g})
+	}
+	// Strongest first.
+	sort.Slice(cands, func(i, j int) bool { return cands[i].gain > cands[j].gain })
+
+	chosen := make([]cand, 0, m)
+	chosen = append(chosen, cands[0])
+	remaining := cands[1:]
+	for len(chosen) < m {
+		// Greedy max-min angular spacing, weighted by gain.
+		bestIdx, bestScore := -1, -1.0
+		for i, c := range remaining {
+			minDist := 1e9
+			for _, ch := range chosen {
+				d := angDist(c.az, c.el, ch.az, ch.el)
+				if d < minDist {
+					minDist = d
+				}
+			}
+			score := minDist + 0.5*c.gain
+			if score > bestScore {
+				bestIdx, bestScore = i, score
+			}
+		}
+		chosen = append(chosen, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	ids := make([]sector.ID, len(chosen))
+	for i, c := range chosen {
+		ids[i] = c.id
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return sector.NewSet(ids...), nil
+}
+
+func angDist(az1, el1, az2, el2 float64) float64 {
+	da := az1 - az2
+	de := el1 - el2
+	if da < 0 {
+		da = -da
+	}
+	if de < 0 {
+		de = -de
+	}
+	return da + de
+}

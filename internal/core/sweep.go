@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math"
+
+	"talon/internal/radio"
+	"talon/internal/sector"
+)
+
+// SweepSelect is the stock sector-sweep baseline (Eq. 1): the probed
+// sector with the highest reported SNR. Missing reports simply lose —
+// exactly the failure mode that makes the stock algorithm fluctuate.
+// ok is false when no probe carried a measurement.
+func SweepSelect(probes []Probe) (id sector.ID, ok bool) {
+	bestSNR := math.Inf(-1)
+	for _, p := range probes {
+		if !p.OK {
+			continue
+		}
+		if p.Meas.SNR > bestSNR {
+			id, bestSNR, ok = p.Sector, p.Meas.SNR, true
+		}
+	}
+	return id, ok
+}
+
+// OptimalSector returns the probed sector with the highest *true* SNR
+// according to truth — the evaluation oracle for SNR-loss (Section 6.3),
+// not available to any protocol.
+func OptimalSector(truth map[sector.ID]float64) (sector.ID, bool) {
+	best, bestSNR, ok := sector.ID(0), math.Inf(-1), false
+	for _, id := range sector.TalonTX() {
+		snr, have := truth[id]
+		if !have {
+			continue
+		}
+		if snr > bestSNR {
+			best, bestSNR, ok = id, snr, true
+		}
+	}
+	return best, ok
+}
+
+// MeasurementsToProbes is a convenience for offline analysis of full
+// sweeps: it converts a measurement table into a probe vector over the
+// given sector order.
+func MeasurementsToProbes(order []sector.ID, meas map[sector.ID]radio.Measurement) []Probe {
+	return ProbesFromMeasurements(order, meas)
+}

@@ -1,0 +1,83 @@
+package dot11ad
+
+import (
+	"sort"
+
+	"talon/internal/sector"
+)
+
+// ObservedSchedule is a burst schedule reconstructed from captured
+// frames, the Section 4.1 methodology: listen in monitor mode, record
+// which sector ID appears at which CDOWN value.
+type ObservedSchedule struct {
+	// Sectors maps CDOWN values to the sector ID observed there.
+	Sectors map[uint16]sector.ID
+	// Frames counts the frames that contributed.
+	Frames int
+	// Conflicts counts frames contradicting an earlier observation at
+	// the same CDOWN (should stay zero on a stable schedule).
+	Conflicts int
+}
+
+// ReconstructSchedules classifies captured frames into beacon and sweep
+// bursts and rebuilds the sector-per-CDOWN tables of Table 1. Frames
+// other than DMG beacons and SSW frames are ignored.
+func ReconstructSchedules(frames []*Frame) (beacon, sweep *ObservedSchedule) {
+	beacon = &ObservedSchedule{Sectors: make(map[uint16]sector.ID)}
+	sweep = &ObservedSchedule{Sectors: make(map[uint16]sector.ID)}
+	for _, f := range frames {
+		if f == nil {
+			continue
+		}
+		var target *ObservedSchedule
+		switch f.Type {
+		case TypeDMGBeacon:
+			target = beacon
+		case TypeSSW:
+			target = sweep
+		default:
+			continue
+		}
+		target.Frames++
+		if prev, seen := target.Sectors[f.SSW.CDOWN]; seen {
+			if prev != f.SSW.SectorID {
+				target.Conflicts++
+			}
+			continue
+		}
+		target.Sectors[f.SSW.CDOWN] = f.SSW.SectorID
+	}
+	return beacon, sweep
+}
+
+// CDOWNs returns the observed countdown values, descending (transmission
+// order).
+func (o *ObservedSchedule) CDOWNs() []uint16 {
+	out := make([]uint16, 0, len(o.Sectors))
+	for cd := range o.Sectors {
+		out = append(out, cd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}
+
+// MatchAgainst compares the observation with a reference schedule and
+// returns how many used slots were observed with the correct sector,
+// how many were missed entirely, and how many disagreed.
+func (o *ObservedSchedule) MatchAgainst(ref []BurstSlot) (correct, missed, wrong int) {
+	for _, slot := range ref {
+		if !slot.Used {
+			continue
+		}
+		got, seen := o.Sectors[slot.CDOWN]
+		switch {
+		case !seen:
+			missed++
+		case got == slot.Sector:
+			correct++
+		default:
+			wrong++
+		}
+	}
+	return correct, missed, wrong
+}

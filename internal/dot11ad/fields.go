@@ -1,0 +1,167 @@
+// Package dot11ad implements the slice of the IEEE 802.11ad (DMG) MAC this
+// project needs: sector-sweep (SSW) and DMG-beacon frames with their SSW
+// and SSW-Feedback fields at bit-level fidelity, the stock beacon/sweep
+// burst schedules of the Talon AD7200 (Table 1 of the paper), and the
+// sector-level-sweep timing model.
+//
+// Frame codecs follow the gopacket idiom: value types with
+// DecodeFromBytes([]byte) error and SerializeTo(*bytes.Buffer)-style
+// round-trip methods, validated by a CRC-32 frame check sequence.
+package dot11ad
+
+import (
+	"fmt"
+	"math"
+
+	"talon/internal/sector"
+)
+
+// Direction values of the SSW field.
+const (
+	// DirectionInitiator marks frames of the initiator sector sweep.
+	DirectionInitiator = false
+	// DirectionResponder marks frames of the responder sector sweep.
+	DirectionResponder = true
+)
+
+// SSWField is the 3-byte Sector Sweep field (IEEE 802.11-2012 §8.4a.1)
+// carried in SSW frames and DMG beacons.
+//
+// Bit layout (LSB first): Direction (1), CDOWN (9), Sector ID (6),
+// DMG Antenna ID (2), RXSS Length (6).
+type SSWField struct {
+	// Direction is false during the initiator sweep, true during the
+	// responder sweep.
+	Direction bool
+	// CDOWN counts remaining frames in the burst, down to zero.
+	CDOWN uint16
+	// SectorID is the sector the current frame is transmitted on.
+	SectorID sector.ID
+	// AntennaID identifies the DMG antenna (0 on the single-array Talon).
+	AntennaID uint8
+	// RXSSLength advertises the receive-sweep length requirement.
+	RXSSLength uint8
+}
+
+// MaxCDOWN is the largest value of the 9-bit CDOWN counter.
+const MaxCDOWN = 1<<9 - 1
+
+// Encode packs the field into its 3-byte wire form.
+func (f SSWField) Encode() ([3]byte, error) {
+	var out [3]byte
+	if f.CDOWN > MaxCDOWN {
+		return out, fmt.Errorf("dot11ad: CDOWN %d exceeds 9 bits", f.CDOWN)
+	}
+	if !f.SectorID.Valid() {
+		return out, fmt.Errorf("dot11ad: sector ID %d exceeds 6 bits", f.SectorID)
+	}
+	if f.AntennaID > 3 {
+		return out, fmt.Errorf("dot11ad: antenna ID %d exceeds 2 bits", f.AntennaID)
+	}
+	if f.RXSSLength > 63 {
+		return out, fmt.Errorf("dot11ad: RXSS length %d exceeds 6 bits", f.RXSSLength)
+	}
+	var v uint32
+	if f.Direction {
+		v |= 1
+	}
+	v |= uint32(f.CDOWN) << 1
+	v |= uint32(f.SectorID) << 10
+	v |= uint32(f.AntennaID) << 16
+	v |= uint32(f.RXSSLength) << 18
+	out[0] = byte(v)
+	out[1] = byte(v >> 8)
+	out[2] = byte(v >> 16)
+	return out, nil
+}
+
+// DecodeSSWField unpacks a 3-byte wire form.
+func DecodeSSWField(b [3]byte) SSWField {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+	return SSWField{
+		Direction:  v&1 != 0,
+		CDOWN:      uint16(v >> 1 & 0x1ff),
+		SectorID:   sector.ID(v >> 10 & 0x3f),
+		AntennaID:  uint8(v >> 16 & 0x3),
+		RXSSLength: uint8(v >> 18 & 0x3f),
+	}
+}
+
+// SSWFeedbackField is the 3-byte SSW Feedback field (§8.4a.2) in its
+// "not transmitted as part of an ISS" form, the one that carries the
+// sector selection the paper's firmware patch overwrites.
+//
+// Bit layout (LSB first): Sector Select (6), DMG Antenna Select (2),
+// SNR Report (8), Poll Required (1), reserved (7).
+type SSWFeedbackField struct {
+	// SectorSelect is the sector the peer should transmit on.
+	SectorSelect sector.ID
+	// AntennaSelect is the corresponding DMG antenna.
+	AntennaSelect uint8
+	// SNRReport encodes the SNR measured on the selected sector; see
+	// EncodeSNR.
+	SNRReport uint8
+	// PollRequired requests a poll from the peer.
+	PollRequired bool
+}
+
+// Encode packs the field into its 3-byte wire form.
+func (f SSWFeedbackField) Encode() ([3]byte, error) {
+	var out [3]byte
+	if !f.SectorSelect.Valid() {
+		return out, fmt.Errorf("dot11ad: sector select %d exceeds 6 bits", f.SectorSelect)
+	}
+	if f.AntennaSelect > 3 {
+		return out, fmt.Errorf("dot11ad: antenna select %d exceeds 2 bits", f.AntennaSelect)
+	}
+	var v uint32
+	v |= uint32(f.SectorSelect)
+	v |= uint32(f.AntennaSelect) << 6
+	v |= uint32(f.SNRReport) << 8
+	if f.PollRequired {
+		v |= 1 << 16
+	}
+	out[0] = byte(v)
+	out[1] = byte(v >> 8)
+	out[2] = byte(v >> 16)
+	return out, nil
+}
+
+// DecodeSSWFeedbackField unpacks a 3-byte wire form.
+func DecodeSSWFeedbackField(b [3]byte) SSWFeedbackField {
+	v := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16
+	return SSWFeedbackField{
+		SectorSelect:  sector.ID(v & 0x3f),
+		AntennaSelect: uint8(v >> 6 & 0x3),
+		SNRReport:     uint8(v >> 8 & 0xff),
+		PollRequired:  v>>16&1 != 0,
+	}
+}
+
+// The SNR Report field expresses SNR in 0.25 dB units with value 0 mapping
+// to -8 dB (§8.4a.2), i.e. it covers -8 dB … +55.75 dB.
+const (
+	snrReportOffsetDB = -8.0
+	snrReportStepDB   = 0.25
+)
+
+// EncodeSNR converts an SNR in dB to the 8-bit SNR Report encoding,
+// clamping to the representable range.
+func EncodeSNR(db float64) uint8 {
+	if math.IsNaN(db) {
+		return 0
+	}
+	v := math.Round((db - snrReportOffsetDB) / snrReportStepDB)
+	switch {
+	case v < 0:
+		return 0
+	case v > 255:
+		return 255
+	}
+	return uint8(v)
+}
+
+// DecodeSNR converts an SNR Report value back to dB.
+func DecodeSNR(v uint8) float64 {
+	return snrReportOffsetDB + float64(v)*snrReportStepDB
+}

@@ -1,0 +1,142 @@
+package dot11ad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"talon/internal/sector"
+)
+
+func TestSSWFieldRoundTrip(t *testing.T) {
+	cases := []SSWField{
+		{},
+		{Direction: true, CDOWN: 34, SectorID: 17, AntennaID: 2, RXSSLength: 5},
+		{CDOWN: MaxCDOWN, SectorID: 63, AntennaID: 3, RXSSLength: 63},
+		{Direction: true, CDOWN: 1, SectorID: 61},
+	}
+	for _, f := range cases {
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%+v: %v", f, err)
+		}
+		if got := DecodeSSWField(b); got != f {
+			t.Errorf("round trip %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestSSWFieldRoundTripProperty(t *testing.T) {
+	f := func(dir bool, cdown uint16, sec, ant, rxss uint8) bool {
+		in := SSWField{
+			Direction:  dir,
+			CDOWN:      cdown % (MaxCDOWN + 1),
+			SectorID:   sector.ID(sec % 64),
+			AntennaID:  ant % 4,
+			RXSSLength: rxss % 64,
+		}
+		b, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		return DecodeSSWField(b) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSWFieldEncodeErrors(t *testing.T) {
+	for _, f := range []SSWField{
+		{CDOWN: MaxCDOWN + 1},
+		{SectorID: 64},
+		{AntennaID: 4},
+		{RXSSLength: 64},
+	} {
+		if _, err := f.Encode(); err == nil {
+			t.Errorf("%+v encoded without error", f)
+		}
+	}
+}
+
+func TestSSWFeedbackFieldRoundTrip(t *testing.T) {
+	cases := []SSWFeedbackField{
+		{},
+		{SectorSelect: 14, AntennaSelect: 1, SNRReport: 200, PollRequired: true},
+		{SectorSelect: 63, AntennaSelect: 3, SNRReport: 255},
+	}
+	for _, f := range cases {
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatalf("%+v: %v", f, err)
+		}
+		if got := DecodeSSWFeedbackField(b); got != f {
+			t.Errorf("round trip %+v -> %+v", f, got)
+		}
+	}
+}
+
+func TestSSWFeedbackFieldRoundTripProperty(t *testing.T) {
+	f := func(sel, ant, snr uint8, poll bool) bool {
+		in := SSWFeedbackField{
+			SectorSelect:  sector.ID(sel % 64),
+			AntennaSelect: ant % 4,
+			SNRReport:     snr,
+			PollRequired:  poll,
+		}
+		b, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		return DecodeSSWFeedbackField(b) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSWFeedbackEncodeErrors(t *testing.T) {
+	if _, err := (SSWFeedbackField{SectorSelect: 64}).Encode(); err == nil {
+		t.Error("sector select 64 encoded")
+	}
+	if _, err := (SSWFeedbackField{AntennaSelect: 4}).Encode(); err == nil {
+		t.Error("antenna select 4 encoded")
+	}
+}
+
+func TestSNREncoding(t *testing.T) {
+	cases := []struct {
+		db   float64
+		want uint8
+	}{
+		{-8, 0}, {-7.75, 1}, {0, 32}, {12, 80}, {55.75, 255},
+		{-20, 0}, {100, 255},
+	}
+	for _, c := range cases {
+		if got := EncodeSNR(c.db); got != c.want {
+			t.Errorf("EncodeSNR(%v) = %d, want %d", c.db, got, c.want)
+		}
+	}
+	if got := EncodeSNR(math.NaN()); got != 0 {
+		t.Errorf("EncodeSNR(NaN) = %d", got)
+	}
+}
+
+func TestSNRRoundTripProperty(t *testing.T) {
+	// Any representable quarter-dB SNR must round trip exactly.
+	f := func(v uint8) bool {
+		return EncodeSNR(DecodeSNR(v)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSNRQuantizationError(t *testing.T) {
+	for db := -8.0; db <= 55.0; db += 0.1 {
+		rec := DecodeSNR(EncodeSNR(db))
+		if math.Abs(rec-db) > 0.125+1e-9 {
+			t.Fatalf("quantization error %v at %v dB", rec-db, db)
+		}
+	}
+}

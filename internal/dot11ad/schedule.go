@@ -1,0 +1,83 @@
+package dot11ad
+
+import "talon/internal/sector"
+
+// BurstSlot is one transmit opportunity in a beacon or sweep burst: the
+// CDOWN value announced in the frame and the sector it is sent on. Unused
+// slots (observed as gaps in the paper's Table 1) transmit nothing.
+type BurstSlot struct {
+	CDOWN  uint16
+	Sector sector.ID
+	Used   bool
+}
+
+// BeaconSchedule returns the stock beacon burst of the Talon AD7200
+// exactly as captured in Table 1 of the paper: CDOWN counts from 34 down
+// to 0; sector 63 is sent at CDOWN 33, sectors 1–31 at CDOWN 31…1, and
+// slots 34, 32 and 0 stay unused.
+func BeaconSchedule() []BurstSlot {
+	slots := make([]BurstSlot, 0, 35)
+	for cd := 34; cd >= 0; cd-- {
+		s := BurstSlot{CDOWN: uint16(cd)}
+		switch {
+		case cd == 33:
+			s.Sector, s.Used = 63, true
+		case cd >= 1 && cd <= 31:
+			s.Sector, s.Used = sector.ID(32-cd), true
+		}
+		slots = append(slots, s)
+	}
+	return slots
+}
+
+// SweepSchedule returns the stock sector-sweep burst of Table 1: sectors
+// 1–31 at CDOWN 34…4, slot 3 unused, then sectors 61, 62 and 63 at CDOWN
+// 2, 1 and 0.
+func SweepSchedule() []BurstSlot {
+	slots := make([]BurstSlot, 0, 35)
+	for cd := 34; cd >= 0; cd-- {
+		s := BurstSlot{CDOWN: uint16(cd)}
+		switch {
+		case cd >= 4:
+			s.Sector, s.Used = sector.ID(35-cd), true
+		case cd == 2:
+			s.Sector, s.Used = 61, true
+		case cd == 1:
+			s.Sector, s.Used = 62, true
+		case cd == 0:
+			s.Sector, s.Used = 63, true
+		}
+		slots = append(slots, s)
+	}
+	return slots
+}
+
+// SubSweepSchedule returns a sweep burst restricted to the given probing
+// sectors, preserving the stock burst's sector order and renumbering CDOWN
+// to count the remaining probes — how the patched firmware sweeps only a
+// compressive probing subset.
+func SubSweepSchedule(probe *sector.Set) []BurstSlot {
+	var used []sector.ID
+	for _, s := range SweepSchedule() {
+		if s.Used && probe.Contains(s.Sector) {
+			used = append(used, s.Sector)
+		}
+	}
+	slots := make([]BurstSlot, len(used))
+	for i, id := range used {
+		slots[i] = BurstSlot{CDOWN: uint16(len(used) - 1 - i), Sector: id, Used: true}
+	}
+	return slots
+}
+
+// UsedSectors extracts the transmitted sectors of a burst in transmission
+// order.
+func UsedSectors(slots []BurstSlot) []sector.ID {
+	var out []sector.ID
+	for _, s := range slots {
+		if s.Used {
+			out = append(out, s.Sector)
+		}
+	}
+	return out
+}

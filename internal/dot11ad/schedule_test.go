@@ -1,0 +1,114 @@
+package dot11ad
+
+import (
+	"testing"
+	"time"
+
+	"talon/internal/sector"
+)
+
+// table1 reproduces the paper's Table 1 verbatim: sector per CDOWN value,
+// 0 meaning "slot unused".
+var table1 = map[string]map[uint16]sector.ID{
+	"beacon": {
+		33: 63,
+		31: 1, 30: 2, 29: 3, 28: 4, 27: 5, 26: 6, 25: 7, 24: 8, 23: 9,
+		22: 10, 21: 11, 20: 12, 19: 13, 18: 14, 17: 15, 16: 16, 15: 17,
+		14: 18, 13: 19, 12: 20, 11: 21, 10: 22, 9: 23, 8: 24, 7: 25,
+		6: 26, 5: 27, 4: 28, 3: 29, 2: 30, 1: 31,
+	},
+	"sweep": {
+		34: 1, 33: 2, 32: 3, 31: 4, 30: 5, 29: 6, 28: 7, 27: 8, 26: 9,
+		25: 10, 24: 11, 23: 12, 22: 13, 21: 14, 20: 15, 19: 16, 18: 17,
+		17: 18, 16: 19, 15: 20, 14: 21, 13: 22, 12: 23, 11: 24, 10: 25,
+		9: 26, 8: 27, 7: 28, 6: 29, 5: 30, 4: 31,
+		2: 61, 1: 62, 0: 63,
+	},
+}
+
+func checkSchedule(t *testing.T, name string, slots []BurstSlot) {
+	t.Helper()
+	want := table1[name]
+	if len(slots) != 35 {
+		t.Fatalf("%s: %d slots, want 35 (CDOWN 34..0)", name, len(slots))
+	}
+	for i, s := range slots {
+		if s.CDOWN != uint16(34-i) {
+			t.Fatalf("%s: slot %d CDOWN %d, want descending from 34", name, i, s.CDOWN)
+		}
+		wantSector, used := want[s.CDOWN]
+		if s.Used != used {
+			t.Errorf("%s: CDOWN %d used=%v, want %v", name, s.CDOWN, s.Used, used)
+			continue
+		}
+		if used && s.Sector != wantSector {
+			t.Errorf("%s: CDOWN %d sector %v, want %v", name, s.CDOWN, s.Sector, wantSector)
+		}
+	}
+}
+
+func TestBeaconScheduleMatchesTable1(t *testing.T) {
+	checkSchedule(t, "beacon", BeaconSchedule())
+}
+
+func TestSweepScheduleMatchesTable1(t *testing.T) {
+	checkSchedule(t, "sweep", SweepSchedule())
+}
+
+func TestScheduleSectorCounts(t *testing.T) {
+	if got := len(UsedSectors(BeaconSchedule())); got != 32 {
+		t.Errorf("beacon transmits %d sectors, want 32 (63 + 1..31)", got)
+	}
+	if got := len(UsedSectors(SweepSchedule())); got != 34 {
+		t.Errorf("sweep transmits %d sectors, want 34", got)
+	}
+}
+
+func TestSubSweepSchedule(t *testing.T) {
+	probe := sector.NewSet(63, 2, 17, 61)
+	slots := SubSweepSchedule(probe)
+	if len(slots) != 4 {
+		t.Fatalf("sub-sweep slots = %d", len(slots))
+	}
+	// Stock order: 2, 17, 61, 63; CDOWN renumbered 3..0.
+	wantOrder := []sector.ID{2, 17, 61, 63}
+	for i, s := range slots {
+		if !s.Used {
+			t.Fatalf("slot %d unused", i)
+		}
+		if s.Sector != wantOrder[i] {
+			t.Fatalf("slot %d sector %v, want %v", i, s.Sector, wantOrder[i])
+		}
+		if s.CDOWN != uint16(len(slots)-1-i) {
+			t.Fatalf("slot %d CDOWN %d", i, s.CDOWN)
+		}
+	}
+}
+
+func TestSubSweepScheduleIgnoresUnknownSectors(t *testing.T) {
+	probe := sector.NewSet(40, 50) // not in the stock sweep
+	if slots := SubSweepSchedule(probe); len(slots) != 0 {
+		t.Fatalf("sub-sweep with unknown sectors = %d slots", len(slots))
+	}
+}
+
+func TestMutualTrainingTime(t *testing.T) {
+	// Paper: full 34-sector mutual training takes 1.27 ms.
+	if got := MutualTrainingTime(34); got != 1273100*time.Nanosecond {
+		t.Fatalf("T(34) = %v, want 1.2731 ms", got)
+	}
+	// Paper: 14 probing sectors take 0.55 ms.
+	if got := MutualTrainingTime(14); got != 553100*time.Nanosecond {
+		t.Fatalf("T(14) = %v, want 0.5531 ms", got)
+	}
+	if got := MutualTrainingTime(-3); got != TrainingOverhead {
+		t.Fatalf("T(-3) = %v", got)
+	}
+}
+
+func TestTrainingSpeedup(t *testing.T) {
+	// The headline 2.3× speed-up at 14 of 34 probes.
+	if got := TrainingSpeedup(14, 34); got < 2.25 || got > 2.35 {
+		t.Fatalf("speedup = %v, want ≈2.3", got)
+	}
+}

@@ -1,0 +1,107 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"talon/internal/dot11ad"
+	"talon/internal/mcs"
+)
+
+// DensityPoint is one (pairs, policy, cadence) cell of the density study.
+type DensityPoint struct {
+	Pairs          int
+	Policy         string
+	Interval       time.Duration
+	TrainShare     float64 // fraction of airtime polluted by training
+	AggregateMbps  float64 // sum of all pairs' goodput
+	PerPairMbps    float64
+	MediumSaturate bool // training alone exceeds the airtime
+}
+
+// DensityResult models the Section 7 dense-deployment argument: sector
+// sweeps are transmitted over all directions, so every pair's training
+// pollutes the whole channel for everyone, while directional data links
+// coexist spatially. With P pairs retraining every T, the fraction
+// P·T_train/T of airtime is lost to training for all pairs; the stock
+// sweep exhausts the medium at less than half the density compressive
+// selection sustains.
+type DensityResult struct {
+	LinkSNRdB float64
+	Points    []DensityPoint
+}
+
+// DensityStudy evaluates aggregate goodput against deployment density
+// for the stock sweep and CSS at M probes, at the default (1 s) and a
+// mobility-grade (100 ms) retraining cadence. linkSNR sets each pair's
+// data-link quality.
+func DensityStudy(m int, linkSNR float64, pairCounts []int) *DensityResult {
+	if m <= 0 {
+		m = 14
+	}
+	if len(pairCounts) == 0 {
+		pairCounts = []int{1, 10, 50, 100, 200, 500, 1000}
+	}
+	model := mcs.DefaultThroughputModel()
+	res := &DensityResult{LinkSNRdB: linkSNR}
+	type policy struct {
+		name   string
+		probes int
+	}
+	for _, interval := range []time.Duration{time.Second, 100 * time.Millisecond} {
+		for _, pol := range []policy{{"SSW", 34}, {fmt.Sprintf("CSS-%d", m), m}} {
+			trainTime := dot11ad.MutualTrainingTime(pol.probes)
+			for _, pairs := range pairCounts {
+				share := float64(pairs) * float64(trainTime) / float64(interval)
+				pt := DensityPoint{
+					Pairs:    pairs,
+					Policy:   pol.name,
+					Interval: interval,
+				}
+				if share >= 1 {
+					pt.TrainShare = 1
+					pt.MediumSaturate = true
+				} else {
+					pt.TrainShare = share
+					// Each pair's own training airtime is part of the
+					// pollution share; the remaining airtime carries
+					// spatially-reused directional data.
+					perPair := model.AppThroughputMbps(linkSNR, 0) * (1 - share)
+					pt.PerPairMbps = perPair
+					pt.AggregateMbps = perPair * float64(pairs)
+				}
+				res.Points = append(res.Points, pt)
+			}
+		}
+	}
+	return res
+}
+
+// Format renders the study.
+func (r *DensityResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Dense-deployment study (Section 7): training pollutes the whole channel (link SNR %.1f dB)\n", r.LinkSNRdB)
+	fmt.Fprintf(&b, "%-8s %10s %7s %13s %15s %15s\n", "policy", "cadence", "pairs", "train share", "per-pair [Mbps]", "aggregate [Gbps]")
+	for _, pt := range r.Points {
+		if pt.MediumSaturate {
+			fmt.Fprintf(&b, "%-8s %10v %7d %12.1f%% %15s %15s\n",
+				pt.Policy, pt.Interval, pt.Pairs, 100*pt.TrainShare, "-", "saturated")
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %10v %7d %12.1f%% %15.0f %15.2f\n",
+			pt.Policy, pt.Interval, pt.Pairs, 100*pt.TrainShare, pt.PerPairMbps, pt.AggregateMbps/1000)
+	}
+	return b.String()
+}
+
+// SaturationPairs returns the smallest evaluated pair count at which the
+// policy saturates the medium at the given cadence (0 if never).
+func (r *DensityResult) SaturationPairs(policy string, interval time.Duration) int {
+	for _, pt := range r.Points {
+		if pt.Policy == policy && pt.Interval == interval && pt.MediumSaturate {
+			return pt.Pairs
+		}
+	}
+	return 0
+}

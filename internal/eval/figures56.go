@@ -1,0 +1,146 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"talon/internal/channel"
+	"talon/internal/dot11ad"
+	"talon/internal/geom"
+	"talon/internal/pattern"
+	"talon/internal/sector"
+	"talon/internal/testbed"
+	"talon/internal/wil"
+)
+
+// PatternSummary describes one measured sector pattern, the per-sector
+// information Figures 5 and 6 plot.
+type PatternSummary struct {
+	Sector  sector.ID
+	PeakAz  float64
+	PeakEl  float64
+	PeakSNR float64
+	MeanSNR float64
+	// Directivity is peak − mean in dB: high for unidirectional
+	// sectors, low for wide/weak ones.
+	Directivity float64
+}
+
+// PatternResult is the outcome of a pattern campaign experiment.
+type PatternResult struct {
+	Name      string
+	Grid      *geom.Grid
+	Patterns  *pattern.Set
+	Summaries []PatternSummary
+}
+
+// runCampaign builds a fresh chamber rig and measures all 35 patterns on
+// grid.
+func runCampaign(name string, seed int64, grid *geom.Grid, repeats int) (*PatternResult, error) {
+	dut, err := wil.NewDevice(wil.Config{Name: "fig-dut", MAC: dot11ad.MACAddr{2, 0, 0, 0, 1, 1}, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	probe, err := wil.NewDevice(wil.Config{Name: "fig-probe", MAC: dot11ad.MACAddr{2, 0, 0, 0, 1, 2}, Seed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	if err := dut.Jailbreak(); err != nil {
+		return nil, err
+	}
+	if err := probe.Jailbreak(); err != nil {
+		return nil, err
+	}
+	link := wil.NewLink(channel.AnechoicChamber(), dut, probe)
+	campaign := testbed.NewChamberCampaign(link, dut, probe, seed+2)
+	campaign.Repeats = repeats
+	set, err := campaign.MeasureAllPatterns(grid)
+	if err != nil {
+		return nil, err
+	}
+	res := &PatternResult{Name: name, Grid: grid, Patterns: set}
+	for _, id := range set.IDs() {
+		p := set.Get(id)
+		az, el, g := p.Peak()
+		res.Summaries = append(res.Summaries, PatternSummary{
+			Sector:      id,
+			PeakAz:      az,
+			PeakEl:      el,
+			PeakSNR:     g,
+			MeanSNR:     p.MeanGain(),
+			Directivity: p.Directivity(),
+		})
+	}
+	sort.Slice(res.Summaries, func(i, j int) bool { return res.Summaries[i].Sector < res.Summaries[j].Sector })
+	return res, nil
+}
+
+// Figure5 measures the azimuth-plane patterns of all 35 sectors
+// (−180°…180°, elevation 0), the paper's Figure 5. Pass azStep 0.9 for
+// the paper's resolution or a coarser step for smoke runs.
+func Figure5(seed int64, azStep float64, repeats int) (*PatternResult, error) {
+	if azStep <= 0 {
+		azStep = 0.9
+	}
+	grid, err := geom.UniformGrid(-180, 180, azStep, 0, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	return runCampaign("figure5-azimuth-patterns", seed, grid, repeats)
+}
+
+// Figure6 measures the spherical patterns (azimuth ±90°, elevation
+// 0…32.4°), the paper's Figure 6. Steps of (1.8, 3.6) match the paper.
+func Figure6(seed int64, azStep, elStep float64, repeats int) (*PatternResult, error) {
+	if azStep <= 0 {
+		azStep = 1.8
+	}
+	if elStep <= 0 {
+		elStep = 3.6
+	}
+	grid, err := geom.UniformGrid(-90, 90, azStep, 0, 32.4, elStep)
+	if err != nil {
+		return nil, err
+	}
+	return runCampaign("figure6-spherical-patterns", seed, grid, repeats)
+}
+
+// Format renders the per-sector summary table.
+func (r *PatternResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%dx%d grid)\n", r.Name, r.Grid.NumAz(), r.Grid.NumEl())
+	fmt.Fprintf(&b, "%-7s %9s %9s %9s %9s %12s\n", "sector", "peak az", "peak el", "peak SNR", "mean SNR", "directivity")
+	for _, s := range r.Summaries {
+		fmt.Fprintf(&b, "%-7v %8.1f° %8.1f° %6.2f dB %6.2f dB %9.2f dB\n",
+			s.Sector, s.PeakAz, s.PeakEl, s.PeakSNR, s.MeanSNR, s.Directivity)
+	}
+	return b.String()
+}
+
+// Classify groups the measured sectors the way Section 4.4 discusses
+// them: strong unidirectional, multi-lobe/wide, and weak (peaking well
+// below the strongest sectors within the measured region).
+func (r *PatternResult) Classify() (strong, wide, weak []sector.ID) {
+	maxPeak := math.Inf(-1)
+	for _, s := range r.Summaries {
+		if s.Sector != sector.RX && s.PeakSNR > maxPeak {
+			maxPeak = s.PeakSNR
+		}
+	}
+	for _, s := range r.Summaries {
+		if s.Sector == sector.RX {
+			continue
+		}
+		switch {
+		case s.PeakSNR < maxPeak-5:
+			weak = append(weak, s.Sector)
+		case s.Directivity > 8 && !math.IsNaN(s.PeakSNR):
+			strong = append(strong, s.Sector)
+		default:
+			wide = append(wide, s.Sector)
+		}
+	}
+	return strong, wide, weak
+}

@@ -1,0 +1,64 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"talon/internal/stats"
+)
+
+// Headline condenses the paper's headline claims from the experiment
+// results: how many probing sectors CSS needs to match the stock sweep,
+// and the resulting training speed-up.
+type Headline struct {
+	// StabilityCrossoverM: smallest M where CSS stability ≥ SSW
+	// (paper: 13).
+	StabilityCrossoverM int
+	// SNRCrossoverM: smallest M where CSS SNR loss ≤ SSW (paper: 14).
+	SNRCrossoverM int
+	// SSWStability and CSSFullStability (paper: 73.9% and 94.7%).
+	SSWStability     float64
+	CSSFullStability float64
+	// SSWLossDB (paper ≈ 0.5 dB) and CSSLossAt6DB (paper ≈ 2.5 dB).
+	SSWLossDB    float64
+	CSSLossAt6DB float64
+	// SpeedupAt14 (paper: 2.3×).
+	SpeedupAt14 float64
+}
+
+// ComputeHeadline derives the headline numbers from an environment study.
+func ComputeHeadline(s *EnvironmentStudy) *Headline {
+	h := &Headline{SpeedupAt14: Figure10().Speedup()}
+	conf := s.Conference
+	h.SSWStability = conf.SSW.Stability
+	h.SSWLossDB = stats.Mean(conf.SSW.SNRLoss)
+	if f8, ok := (&Figure8Result{Conference: conf}).CrossoverM(); ok {
+		h.StabilityCrossoverM = f8
+	}
+	if f9, ok := (&Figure9Result{Conference: conf}).CrossoverM(); ok {
+		h.SNRCrossoverM = f9
+	}
+	for _, m := range conf.PerM {
+		if m.M == 6 {
+			h.CSSLossAt6DB = stats.Mean(m.SNRLoss)
+		}
+		if m.M == 34 || m.M == conf.PerM[len(conf.PerM)-1].M {
+			h.CSSFullStability = m.Stability
+		}
+	}
+	return h
+}
+
+// Format renders the headline comparison against the paper's values.
+func (h *Headline) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Headline results (paper value in parentheses)")
+	fmt.Fprintf(&b, "  stability crossover M:     %d (13)\n", h.StabilityCrossoverM)
+	fmt.Fprintf(&b, "  SNR-loss crossover M:      %d (14)\n", h.SNRCrossoverM)
+	fmt.Fprintf(&b, "  SSW stability:             %.1f%% (73.9%%)\n", 100*h.SSWStability)
+	fmt.Fprintf(&b, "  CSS stability, all probes: %.1f%% (94.7%%)\n", 100*h.CSSFullStability)
+	fmt.Fprintf(&b, "  SSW SNR loss:              %.2f dB (0.5 dB)\n", h.SSWLossDB)
+	fmt.Fprintf(&b, "  CSS SNR loss at M=6:       %.2f dB (2.5 dB)\n", h.CSSLossAt6DB)
+	fmt.Fprintf(&b, "  training speed-up at M=14: %.2fx (2.3x)\n", h.SpeedupAt14)
+	return b.String()
+}

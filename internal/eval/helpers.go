@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"math"
+
+	"talon/internal/channel"
+	"talon/internal/dot11ad"
+	"talon/internal/radio"
+	"talon/internal/sector"
+	"talon/internal/wil"
+)
+
+// newLink wires the platform's devices into env.
+func newLink(env *channel.Environment, p *Platform) *wil.Link {
+	return wil.NewLink(env, p.DUT, p.Probe)
+}
+
+// runSubSweep performs a one-directional probing sweep over probeSet from
+// the DUT to the probe.
+func runSubSweep(link *wil.Link, p *Platform, probeSet *sector.Set) (map[sector.ID]radio.Measurement, error) {
+	return link.RunTXSS(p.DUT, p.Probe, dot11ad.SubSweepSchedule(probeSet))
+}
+
+// trueLoss returns trueSNR(best sector) − trueSNR(selected) at the
+// devices' current poses.
+func trueLoss(link *wil.Link, p *Platform, selected sector.ID) (float64, bool) {
+	best := math.Inf(-1)
+	for _, id := range sector.TalonTX() {
+		if snr := link.TrueSNR(p.DUT, p.Probe, id); snr > best {
+			best = snr
+		}
+	}
+	got := link.TrueSNR(p.DUT, p.Probe, selected)
+	if math.IsInf(best, -1) || math.IsInf(got, -1) {
+		return 0, false
+	}
+	return best - got, true
+}

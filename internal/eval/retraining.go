@@ -1,0 +1,87 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"talon/internal/channel"
+	"talon/internal/session"
+	"talon/internal/stats"
+	"talon/internal/testbed"
+)
+
+// RetrainingPoint is one (policy, cadence) cell of the study.
+type RetrainingPoint struct {
+	Policy       string
+	Interval     time.Duration
+	MeanLossDB   float64
+	MeanMbps     float64
+	ProbesPerSec float64
+}
+
+// RetrainingResult quantifies the Section 7 discussion: under mobility,
+// compressive training's short airtime lets a node retrain much more
+// often than the stock sweep at the same airtime budget, tracking the
+// moving peer more closely.
+type RetrainingResult struct {
+	DegPerSec float64
+	Points    []RetrainingPoint
+}
+
+// RetrainingStudy orbits the receiver around the transmitter at
+// degPerSec and runs the stock sweep and CSS at several retraining
+// cadences over the same trajectory.
+func RetrainingStudy(p *Platform, degPerSec float64, duration time.Duration, rng *stats.RNG) (*RetrainingResult, error) {
+	if duration <= 0 {
+		duration = 20 * time.Second
+	}
+	dutPose, probePose := testbed.FacingPoses(3, 1.2)
+	p.DUT.SetPose(dutPose)
+	p.Probe.SetPose(probePose)
+	link := newLink(channel.Lab(), p)
+	res := &RetrainingResult{DegPerSec: degPerSec}
+
+	type variant struct {
+		policy   session.Policy
+		interval time.Duration
+	}
+	variants := []variant{
+		{session.SSWPolicy{}, time.Second},
+		{session.SSWPolicy{}, 250 * time.Millisecond},
+		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-1s")}, time.Second},
+		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-250ms")}, 250 * time.Millisecond},
+		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-100ms")}, 100 * time.Millisecond},
+	}
+	for _, v := range variants {
+		r, err := session.Run(link, p.DUT, p.Probe, v.policy, session.Config{
+			Duration:         duration,
+			TrainingInterval: v.interval,
+			Mobility:         session.OrbitMobility(3, degPerSec),
+			EvalStep:         100 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, RetrainingPoint{
+			Policy:       r.Policy,
+			Interval:     v.interval,
+			MeanLossDB:   r.MeanLossDB,
+			MeanMbps:     r.MeanThroughputMbps,
+			ProbesPerSec: float64(r.TotalProbes) / duration.Seconds(),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the study.
+func (r *RetrainingResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Retraining-cadence study (Section 7): receiver orbiting at %.0f°/s\n", r.DegPerSec)
+	fmt.Fprintf(&b, "%-8s %10s %12s %14s %12s\n", "policy", "cadence", "loss [dB]", "tput [Mbps]", "probes/s")
+	for _, pt := range r.Points {
+		fmt.Fprintf(&b, "%-8s %10v %12.2f %14.0f %12.0f\n",
+			pt.Policy, pt.Interval, pt.MeanLossDB, pt.MeanMbps, pt.ProbesPerSec)
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"talon/internal/dot11ad"
+)
+
+// Table1Result reproduces the paper's Table 1: the sector ID transmitted
+// at each CDOWN value of the beacon and sweep bursts.
+type Table1Result struct {
+	Beacon []dot11ad.BurstSlot
+	Sweep  []dot11ad.BurstSlot
+}
+
+// Table1 reads the stock burst schedules out of the firmware model.
+func Table1() *Table1Result {
+	return &Table1Result{
+		Beacon: dot11ad.BeaconSchedule(),
+		Sweep:  dot11ad.SweepSchedule(),
+	}
+}
+
+// Format renders the table in the paper's layout: one row per burst type,
+// one column per CDOWN value (34 → 0), "-" for unused slots.
+func (t *Table1Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 1: sector IDs per CDOWN value in beacon and sweep bursts")
+	row := func(name string, slots []dot11ad.BurstSlot) {
+		fmt.Fprintf(&b, "%-7s", name)
+		for _, s := range slots {
+			if s.Used {
+				fmt.Fprintf(&b, "%4v", s.Sector)
+			} else {
+				fmt.Fprintf(&b, "%4s", "-")
+			}
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-7s", "CDOWN")
+	for _, s := range t.Beacon {
+		fmt.Fprintf(&b, "%4d", s.CDOWN)
+	}
+	fmt.Fprintln(&b)
+	row("Beacon", t.Beacon)
+	row("Sweep", t.Sweep)
+	return b.String()
+}

@@ -1,0 +1,134 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformGrid(t *testing.T) {
+	g, err := UniformGrid(-180, 179.1, 0.9, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAz() != 400 {
+		t.Fatalf("NumAz = %d, want 400", g.NumAz())
+	}
+	if g.NumEl() != 1 {
+		t.Fatalf("NumEl = %d, want 1", g.NumEl())
+	}
+	if g.Az()[0] != -180 || !almostEq(g.Az()[399], 179.1, 1e-9) {
+		t.Fatalf("axis ends: %v .. %v", g.Az()[0], g.Az()[399])
+	}
+	if g.Size() != 400 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+}
+
+func TestUniformGridPaperCampaigns(t *testing.T) {
+	// The 3D campaign: azimuth ±90° at 1.8°, elevation 0–32.4° at 3.6°.
+	g, err := UniformGrid(-90, 90, 1.8, 0, 32.4, 3.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumAz() != 101 {
+		t.Fatalf("NumAz = %d, want 101", g.NumAz())
+	}
+	if g.NumEl() != 10 {
+		t.Fatalf("NumEl = %d, want 10", g.NumEl())
+	}
+}
+
+func TestUniformGridErrors(t *testing.T) {
+	if _, err := UniformGrid(0, 10, 0, 0, 0, 1); err == nil {
+		t.Error("zero azimuth step accepted")
+	}
+	if _, err := UniformGrid(0, 10, 1, 0, 0, -1); err == nil {
+		t.Error("negative elevation step accepted")
+	}
+	if _, err := UniformGrid(10, 0, 1, 0, 0, 1); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(nil, []float64{0}); err == nil {
+		t.Error("empty azimuth axis accepted")
+	}
+	if _, err := NewGrid([]float64{0, 0}, []float64{0}); err == nil {
+		t.Error("non-ascending azimuth axis accepted")
+	}
+	if _, err := NewGrid([]float64{1, 0}, []float64{0}); err == nil {
+		t.Error("descending azimuth axis accepted")
+	}
+}
+
+func TestGridEqual(t *testing.T) {
+	a, _ := NewGrid([]float64{0, 1}, []float64{0})
+	b, _ := NewGrid([]float64{0, 1}, []float64{0})
+	c, _ := NewGrid([]float64{0, 2}, []float64{0})
+	if !a.Equal(b) || !a.Equal(a) {
+		t.Error("equal grids not Equal")
+	}
+	if a.Equal(c) || a.Equal(nil) {
+		t.Error("unequal grids reported Equal")
+	}
+}
+
+func TestBracket(t *testing.T) {
+	axis := []float64{0, 1, 3, 7}
+	cases := []struct {
+		v     float64
+		wantI int
+		wantT float64
+	}{
+		{-1, 0, 0}, {0, 0, 0}, {0.5, 0, 0.5}, {1, 1, 0}, {2, 1, 0.5},
+		{5, 2, 0.5}, {7, 2, 1}, {9, 2, 1},
+	}
+	for _, c := range cases {
+		i, tt := Bracket(axis, c.v)
+		if i != c.wantI || !almostEq(tt, c.wantT, 1e-12) {
+			t.Errorf("Bracket(%v) = (%d, %v), want (%d, %v)", c.v, i, tt, c.wantI, c.wantT)
+		}
+	}
+}
+
+func TestBracketSingleton(t *testing.T) {
+	i, tt := Bracket([]float64{5}, 99)
+	if i != 0 || tt != 0 {
+		t.Fatalf("Bracket singleton = (%d, %v)", i, tt)
+	}
+}
+
+func TestBracketReconstructionProperty(t *testing.T) {
+	axis := []float64{-10, -4, 0, 0.5, 2, 8, 33}
+	f := func(v float64) bool {
+		if v < axis[0] {
+			v = axis[0]
+		}
+		if v > axis[len(axis)-1] {
+			v = axis[len(axis)-1]
+		}
+		i, tt := Bracket(axis, v)
+		rec := axis[i]*(1-tt) + axis[i+1]*tt
+		return almostEq(rec, v, 1e-9) && tt >= 0 && tt <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearest(t *testing.T) {
+	axis := []float64{0, 1, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{{-5, 0}, {0.4, 0}, {0.6, 1}, {1.9, 1}, {2.5, 2}, {10, 2}}
+	for _, c := range cases {
+		if got := Nearest(axis, c.v); got != c.want {
+			t.Errorf("Nearest(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if got := Nearest([]float64{7}, -3); got != 0 {
+		t.Errorf("Nearest singleton = %d", got)
+	}
+}

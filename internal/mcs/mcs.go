@@ -1,0 +1,123 @@
+// Package mcs models the IEEE 802.11ad single-carrier PHY rate ladder and
+// an iPerf-style application-layer throughput estimate, including the
+// airtime spent on beamtraining — the model behind the paper's Figure 11.
+//
+// PHY rates are the standard SC MCS 1–12 rates. The SNR thresholds are
+// calibrated to this project's link-budget scale (which, like the paper's
+// firmware readings, tops out around 12 dB for a good sector pair at
+// 3 m); absolute sensitivities of real silicon do not transfer to a
+// simulated budget, but the monotone SNR→rate mapping that Figure 11
+// relies on does.
+package mcs
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"talon/internal/dot11ad"
+)
+
+// MCS is one entry of the rate ladder.
+type MCS struct {
+	// Index is the standard MCS number (0 = control PHY).
+	Index int
+	// Modulation names the scheme, for display.
+	Modulation string
+	// PHYRateMbps is the nominal PHY data rate.
+	PHYRateMbps float64
+	// MinSNRdB is the calibrated minimum SNR to sustain the rate.
+	MinSNRdB float64
+}
+
+// Table returns the rate ladder: control PHY (MCS 0) plus SC MCS 1–12.
+func Table() []MCS {
+	return []MCS{
+		{0, "DBPSK (control)", 27.5, -6.0},
+		{1, "π/2-BPSK 1/2 rep2", 385, -5.0},
+		{2, "π/2-BPSK 1/2", 770, -3.5},
+		{3, "π/2-BPSK 5/8", 962.5, -2.5},
+		{4, "π/2-BPSK 3/4", 1155, -1.5},
+		{5, "π/2-BPSK 13/16", 1251.25, -0.8},
+		{6, "π/2-QPSK 1/2", 1540, 0.5},
+		{7, "π/2-QPSK 5/8", 1925, 1.8},
+		{8, "π/2-QPSK 3/4", 2310, 3.0},
+		{9, "π/2-QPSK 13/16", 2502.5, 4.2},
+		{10, "π/2-16QAM 1/2", 3080, 7.0},
+		{11, "π/2-16QAM 5/8", 3850, 9.0},
+		{12, "π/2-16QAM 3/4", 4620, 11.0},
+	}
+}
+
+// Select returns the fastest data MCS sustainable at snr. ok is false when
+// even MCS 1 is out of reach (the link is control-PHY-only or dead).
+func Select(snr float64) (MCS, bool) {
+	table := Table()
+	best, ok := MCS{}, false
+	for _, m := range table[1:] { // skip control PHY for data
+		if snr >= m.MinSNRdB {
+			best, ok = m, true
+		}
+	}
+	return best, ok
+}
+
+// PHYRateMbps returns the PHY data rate at snr, or 0 below MCS 1.
+func PHYRateMbps(snr float64) float64 {
+	m, ok := Select(snr)
+	if !ok {
+		return 0
+	}
+	return m.PHYRateMbps
+}
+
+// ThroughputModel estimates iPerf-style application-layer TCP throughput.
+type ThroughputModel struct {
+	// TCPEfficiency is the MAC+TCP/IP efficiency over the PHY rate.
+	TCPEfficiency float64
+	// DeviceCapMbps models the router's host-CPU bottleneck: measured
+	// Talon AD7200 iPerf numbers saturate around 1.65 Gbps regardless of
+	// MCS.
+	DeviceCapMbps float64
+	// TrainingInterval is how often beamtraining runs (the devices
+	// trigger it about once per second even when static).
+	TrainingInterval time.Duration
+	// BeaconAirtime is the fraction of airtime spent on beacon bursts.
+	BeaconAirtime float64
+}
+
+// DefaultThroughputModel returns the calibrated Figure 11 model.
+func DefaultThroughputModel() ThroughputModel {
+	return ThroughputModel{
+		TCPEfficiency:    0.62,
+		DeviceCapMbps:    1650,
+		TrainingInterval: dot11ad.SweepInterval,
+		BeaconAirtime:    0.006, // 32 × ~19 µs per 102.4 ms beacon interval
+	}
+}
+
+// AppThroughputMbps returns the expected application-layer throughput on
+// a link with the given SNR when each training round costs trainingTime.
+func (t ThroughputModel) AppThroughputMbps(snr float64, trainingTime time.Duration) float64 {
+	phy := PHYRateMbps(snr)
+	if phy == 0 {
+		return 0
+	}
+	app := phy * t.TCPEfficiency
+	if t.DeviceCapMbps > 0 {
+		app = math.Min(app, t.DeviceCapMbps)
+	}
+	frac := 1.0 - t.BeaconAirtime
+	if t.TrainingInterval > 0 {
+		frac -= float64(trainingTime) / float64(t.TrainingInterval)
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	return app * frac
+}
+
+// String implements fmt.Stringer.
+func (m MCS) String() string {
+	return fmt.Sprintf("MCS %d (%s, %.1f Mbps)", m.Index, m.Modulation, m.PHYRateMbps)
+}

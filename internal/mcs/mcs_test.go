@@ -1,0 +1,98 @@
+package mcs
+
+import (
+	"testing"
+	"time"
+
+	"talon/internal/dot11ad"
+)
+
+func TestTableMonotone(t *testing.T) {
+	table := Table()
+	if len(table) != 13 {
+		t.Fatalf("table size = %d", len(table))
+	}
+	for i := 2; i < len(table); i++ {
+		if table[i].PHYRateMbps <= table[i-1].PHYRateMbps {
+			t.Errorf("rate not increasing at MCS %d", table[i].Index)
+		}
+		if table[i].MinSNRdB <= table[i-1].MinSNRdB {
+			t.Errorf("threshold not increasing at MCS %d", table[i].Index)
+		}
+	}
+	if table[0].Index != 0 || table[12].Index != 12 {
+		t.Fatal("index numbering wrong")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	if _, ok := Select(-10); ok {
+		t.Error("dead link selected an MCS")
+	}
+	m, ok := Select(-4.9)
+	if !ok || m.Index != 1 {
+		t.Errorf("Select(-4.9) = %v, %v", m, ok)
+	}
+	m, ok = Select(12)
+	if !ok || m.Index != 12 {
+		t.Errorf("Select(12) = %v, %v", m, ok)
+	}
+	m, _ = Select(5)
+	if m.Index != 9 {
+		t.Errorf("Select(5) = %v", m)
+	}
+}
+
+func TestPHYRateMonotoneInSNR(t *testing.T) {
+	prev := -1.0
+	for snr := -8.0; snr <= 14; snr += 0.25 {
+		r := PHYRateMbps(snr)
+		if r < prev {
+			t.Fatalf("rate decreased at %v dB", snr)
+		}
+		prev = r
+	}
+}
+
+func TestAppThroughput(t *testing.T) {
+	m := DefaultThroughputModel()
+	// A conference-room-grade link lands in the ~1.5 Gbps regime of
+	// Figure 11.
+	got := m.AppThroughputMbps(5.5, dot11ad.MutualTrainingTime(34))
+	if got < 1300 || got > 1700 {
+		t.Fatalf("throughput at 5.5 dB = %v Mbps", got)
+	}
+	// Dead link.
+	if got := m.AppThroughputMbps(-9, 0); got != 0 {
+		t.Fatalf("dead link throughput = %v", got)
+	}
+	// The device cap binds at very high SNR.
+	uncapped := ThroughputModel{TCPEfficiency: 0.62, TrainingInterval: time.Second}
+	if uncapped.AppThroughputMbps(12, 0) <= m.AppThroughputMbps(12, 0) {
+		t.Fatal("device cap not binding at high SNR")
+	}
+}
+
+func TestTrainingOverheadReducesThroughput(t *testing.T) {
+	m := DefaultThroughputModel()
+	fast := m.AppThroughputMbps(5.5, dot11ad.MutualTrainingTime(14))
+	slow := m.AppThroughputMbps(5.5, dot11ad.MutualTrainingTime(34))
+	if fast <= slow {
+		t.Fatalf("shorter training did not help: %v vs %v", fast, slow)
+	}
+	// The gain is sub-percent (the paper: "differences might barely be
+	// recognizable").
+	if (fast-slow)/slow > 0.01 {
+		t.Fatalf("training gain implausibly large: %v vs %v", fast, slow)
+	}
+	// Pathological: training longer than the interval floors at zero.
+	if got := m.AppThroughputMbps(5.5, 2*time.Second); got != 0 {
+		t.Fatalf("over-long training = %v", got)
+	}
+}
+
+func TestMCSString(t *testing.T) {
+	if s := Table()[9].String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,177 @@
+package nexmon
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestLowCodeWriteProtected(t *testing.T) {
+	m := NewQCA9500Memory()
+	err := m.Write(UcodeCodeBase+0x100, []byte{1, 2, 3})
+	if !errors.Is(err, ErrWriteProtected) {
+		t.Fatalf("low ucode code write: %v, want ErrWriteProtected", err)
+	}
+	err = m.Write(FwCodeBase, []byte{1})
+	if !errors.Is(err, ErrWriteProtected) {
+		t.Fatalf("low fw code write: %v", err)
+	}
+}
+
+func TestAliasWriteVisibleAtLowAddress(t *testing.T) {
+	// The paper's key discovery: code memory is writable at its high
+	// alias, and the cores see the patch at the low execution address.
+	m := NewQCA9500Memory()
+	payload := []byte("patch!")
+	if err := m.Write(UcodeCodeAlias+0x100, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(UcodeCodeBase+0x100, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("low view = %q", got)
+	}
+}
+
+func TestDataRegionsWritableBothViews(t *testing.T) {
+	m := NewQCA9500Memory()
+	if err := m.Write(FwDataBase+4, []byte{0xaa}); err != nil {
+		t.Fatalf("low data write: %v", err)
+	}
+	if err := m.Write(FwDataAlias+8, []byte{0xbb}); err != nil {
+		t.Fatalf("alias data write: %v", err)
+	}
+	lo, _ := m.Read(FwDataAlias+4, 1)
+	hi, _ := m.Read(FwDataBase+8, 1)
+	if lo[0] != 0xaa || hi[0] != 0xbb {
+		t.Fatalf("cross-view reads: %x %x", lo, hi)
+	}
+}
+
+func TestUnmappedAndBoundaryAccess(t *testing.T) {
+	m := NewQCA9500Memory()
+	if _, err := m.Read(0x00500000, 4); err == nil {
+		t.Error("unmapped read accepted")
+	}
+	if err := m.Write(0x00500000, []byte{1}); err == nil {
+		t.Error("unmapped write accepted")
+	}
+	if _, err := m.Read(UcodeCodeBase+UcodeCodeSize-2, 4); err == nil {
+		t.Error("boundary-crossing read accepted")
+	}
+	if err := m.Write(FwDataAlias+FwDataSize-1, []byte{1, 2}); err == nil {
+		t.Error("boundary-crossing write accepted")
+	}
+	if _, err := m.Read(UcodeDataBase, -1); err == nil {
+		t.Error("negative length read accepted")
+	}
+}
+
+func TestAliasOf(t *testing.T) {
+	m := NewQCA9500Memory()
+	a, err := m.AliasOf(UcodeCodeBase + 0x42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != UcodeCodeAlias+0x42 {
+		t.Fatalf("AliasOf = %#x", a)
+	}
+	// Already an alias: unchanged.
+	a, err = m.AliasOf(FwDataAlias + 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != FwDataAlias+7 {
+		t.Fatalf("AliasOf(alias) = %#x", a)
+	}
+	if _, err := m.AliasOf(0x00700000); err == nil {
+		t.Fatal("AliasOf unmapped accepted")
+	}
+}
+
+func TestRegionName(t *testing.T) {
+	m := NewQCA9500Memory()
+	for addr, want := range map[uint32]string{
+		UcodeCodeBase:  "ucode-code",
+		UcodeDataAlias: "ucode-data",
+		FwCodeAlias:    "fw-code",
+		FwDataBase:     "fw-data",
+	} {
+		got, err := m.RegionName(addr)
+		if err != nil || got != want {
+			t.Errorf("RegionName(%#x) = %q, %v; want %q", addr, got, err, want)
+		}
+	}
+}
+
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	m := NewQCA9500Memory()
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		addr := UcodeDataBase + uint32(off)%(UcodeDataSize-uint32(len(data)))
+		if err := m.Write(addr, data); err != nil {
+			return false
+		}
+		got, err := m.Read(addr, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameworkApply(t *testing.T) {
+	fw := NewFramework(NewQCA9500Memory())
+	p := Patch{Name: "test", Addr: UcodeCodeAlias + 0x1000, Data: []byte{0xde, 0xad}}
+	if err := fw.Apply(p); err != nil {
+		t.Fatal(err)
+	}
+	if !fw.Applied("test") || fw.Applied("other") {
+		t.Fatal("Applied wrong")
+	}
+	// Payload is visible at the execution address.
+	got, err := fw.Memory().Read(UcodeCodeBase+0x1000, 2)
+	if err != nil || got[0] != 0xde || got[1] != 0xad {
+		t.Fatalf("patch not visible at low address: %x %v", got, err)
+	}
+	if err := fw.Apply(p); err == nil {
+		t.Fatal("duplicate patch accepted")
+	}
+}
+
+func TestFrameworkApplyValidation(t *testing.T) {
+	fw := NewFramework(NewQCA9500Memory())
+	if err := fw.Apply(Patch{Addr: UcodeCodeAlias, Data: []byte{1}}); err == nil {
+		t.Error("unnamed patch accepted")
+	}
+	if err := fw.Apply(Patch{Name: "empty", Addr: UcodeCodeAlias}); err == nil {
+		t.Error("empty patch accepted")
+	}
+	// Writing through the low, protected address must fail like on the
+	// real chip — Nexmon assumed writable memory and the authors had to
+	// route patches through the alias.
+	if err := fw.Apply(Patch{Name: "low", Addr: UcodeCodeBase + 0x500, Data: []byte{1}}); err == nil {
+		t.Error("low code patch accepted")
+	}
+}
+
+func TestFrameworkPatchesSorted(t *testing.T) {
+	fw := NewFramework(NewQCA9500Memory())
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		if err := fw.Apply(Patch{Name: name, Addr: FwDataAlias, Data: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ps := fw.Patches()
+	if len(ps) != 3 || ps[0].Name != "alpha" || ps[1].Name != "mid" || ps[2].Name != "zeta" {
+		t.Fatalf("Patches() = %v", ps)
+	}
+}

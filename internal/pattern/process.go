@@ -1,0 +1,157 @@
+package pattern
+
+import (
+	"errors"
+	"math"
+
+	"talon/internal/stats"
+)
+
+// Average combines repeated measurement runs of the same sector into one
+// pattern by averaging the valid samples per grid point. All patterns must
+// share the same grid. Points missing in all runs stay missing.
+func Average(runs []*Pattern) (*Pattern, error) {
+	if len(runs) == 0 {
+		return nil, errors.New("pattern: Average of zero runs")
+	}
+	g := runs[0].grid
+	for _, r := range runs[1:] {
+		if !r.grid.Equal(g) {
+			return nil, errors.New("pattern: Average over mismatched grids")
+		}
+	}
+	out := New(g)
+	for e := 0; e < g.NumEl(); e++ {
+		for a := 0; a < g.NumAz(); a++ {
+			sum, n := 0.0, 0
+			for _, r := range runs {
+				if v := r.gain[e][a]; !math.IsNaN(v) {
+					sum += v
+					n++
+				}
+			}
+			if n > 0 {
+				out.gain[e][a] = sum / float64(n)
+			}
+		}
+	}
+	return out, nil
+}
+
+// RemoveOutliers marks samples as missing when they deviate from the median
+// of their azimuth neighbourhood (window samples to each side, within the
+// same elevation row) by more than thresh dB. This mirrors the paper's
+// "omitted obvious outliers" step. It returns the number of samples
+// removed.
+func (p *Pattern) RemoveOutliers(window int, thresh float64) int {
+	if window < 1 {
+		window = 1
+	}
+	removed := 0
+	for e, row := range p.gain {
+		orig := append([]float64(nil), row...)
+		for a, v := range orig {
+			if math.IsNaN(v) {
+				continue
+			}
+			lo, hi := a-window, a+window
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= len(orig) {
+				hi = len(orig) - 1
+			}
+			neigh := make([]float64, 0, hi-lo)
+			for i := lo; i <= hi; i++ {
+				if i != a && !math.IsNaN(orig[i]) {
+					neigh = append(neigh, orig[i])
+				}
+			}
+			if len(neigh) == 0 {
+				continue
+			}
+			if math.Abs(v-stats.Median(neigh)) > thresh {
+				p.gain[e][a] = math.NaN()
+				removed++
+			}
+		}
+	}
+	return removed
+}
+
+// FillGaps linearly interpolates missing samples along each azimuth row,
+// mirroring the paper's "interpolated over gaps where we could not capture
+// any frames". Gaps at row edges are extended from the nearest valid
+// sample. Rows without any valid sample are filled with floor. It returns
+// the number of samples filled.
+func (p *Pattern) FillGaps(floor float64) int {
+	filled := 0
+	for _, row := range p.gain {
+		filled += fillRow(row, floor)
+	}
+	return filled
+}
+
+func fillRow(row []float64, floor float64) int {
+	n := len(row)
+	valid := make([]int, 0, n)
+	for i, v := range row {
+		if !math.IsNaN(v) {
+			valid = append(valid, i)
+		}
+	}
+	if len(valid) == 0 {
+		for i := range row {
+			row[i] = floor
+		}
+		return n
+	}
+	filled := 0
+	// Leading edge.
+	for i := 0; i < valid[0]; i++ {
+		row[i] = row[valid[0]]
+		filled++
+	}
+	// Interior gaps.
+	for k := 0; k+1 < len(valid); k++ {
+		lo, hi := valid[k], valid[k+1]
+		for i := lo + 1; i < hi; i++ {
+			t := float64(i-lo) / float64(hi-lo)
+			row[i] = stats.Lerp(row[lo], row[hi], t)
+			filled++
+		}
+	}
+	// Trailing edge.
+	last := valid[len(valid)-1]
+	for i := last + 1; i < n; i++ {
+		row[i] = row[last]
+		filled++
+	}
+	return filled
+}
+
+// Clamp limits all valid samples to [lo, hi].
+func (p *Pattern) Clamp(lo, hi float64) {
+	for _, row := range p.gain {
+		for i, v := range row {
+			switch {
+			case math.IsNaN(v):
+			case v < lo:
+				row[i] = lo
+			case v > hi:
+				row[i] = hi
+			}
+		}
+	}
+}
+
+// Offset adds d dB to every valid sample.
+func (p *Pattern) Offset(d float64) {
+	for _, row := range p.gain {
+		for i, v := range row {
+			if !math.IsNaN(v) {
+				row[i] = v + d
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package pattern
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"talon/internal/sector"
+)
+
+// Set maps sector IDs to their measured patterns. All patterns in a set
+// share one grid. A Set is the "codebook knowledge" the compressive
+// selection algorithm consumes.
+type Set struct {
+	patterns map[sector.ID]*Pattern
+}
+
+// NewSet returns an empty pattern set.
+func NewSet() *Set { return &Set{patterns: make(map[sector.ID]*Pattern)} }
+
+// Put stores the pattern for id, replacing any previous one. The first
+// pattern fixes the grid; later patterns must share it.
+func (s *Set) Put(id sector.ID, p *Pattern) error {
+	if p == nil {
+		return fmt.Errorf("pattern: nil pattern for sector %v", id)
+	}
+	if len(s.patterns) > 0 {
+		if g := s.anyPattern().grid; !g.Equal(p.grid) {
+			return fmt.Errorf("pattern: sector %v grid differs from set grid", id)
+		}
+	}
+	s.patterns[id] = p
+	return nil
+}
+
+func (s *Set) anyPattern() *Pattern {
+	for _, p := range s.patterns {
+		return p
+	}
+	return nil
+}
+
+// Get returns the pattern for id, or nil if absent.
+func (s *Set) Get(id sector.ID) *Pattern { return s.patterns[id] }
+
+// Len returns the number of stored patterns.
+func (s *Set) Len() int { return len(s.patterns) }
+
+// IDs returns the stored sector IDs in ascending numeric order.
+func (s *Set) IDs() []sector.ID {
+	out := make([]sector.ID, 0, len(s.patterns))
+	for id := range s.patterns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TXIDs returns the stored transmit sector IDs (everything except the RX
+// pseudo-sector), ascending.
+func (s *Set) TXIDs() []sector.ID {
+	out := make([]sector.ID, 0, len(s.patterns))
+	for id := range s.patterns {
+		if id != sector.RX {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GainVector evaluates the patterns of ids at direction (az, el) and
+// returns the gains, in the order of ids. Missing patterns or samples yield
+// NaN entries.
+func (s *Set) GainVector(ids []sector.ID, az, el float64) []float64 {
+	out := make([]float64, len(ids))
+	for i, id := range ids {
+		p := s.patterns[id]
+		if p == nil {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = p.At(az, el)
+	}
+	return out
+}
+
+// BestSector returns the stored transmit sector whose pattern has the
+// highest gain toward (az, el), implementing Eq. 4 of the paper, along with
+// that gain. It returns (sector.RX, NaN) if the set holds no usable TX
+// pattern.
+func (s *Set) BestSector(az, el float64) (sector.ID, float64) {
+	best, bestGain := sector.RX, math.Inf(-1)
+	found := false
+	for _, id := range s.TXIDs() {
+		g := s.patterns[id].At(az, el)
+		if math.IsNaN(g) {
+			continue
+		}
+		if g > bestGain {
+			best, bestGain = id, g
+			found = true
+		}
+	}
+	if !found {
+		return sector.RX, math.NaN()
+	}
+	return best, bestGain
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	out := NewSet()
+	for id, p := range s.patterns {
+		out.patterns[id] = p.Clone()
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+// Package radio computes link budgets over a channel.Environment and
+// reproduces the QCA9500 firmware's signal-strength reporting defects: the
+// quarter-dB SNR quantization clamped to [-7, 12] dB, RSSI readings whose
+// fluctuations are decorrelated from the SNR readings, severe outliers on
+// weak channels, and missing reports.
+package radio
+
+import (
+	"math"
+
+	"talon/internal/channel"
+	"talon/internal/stats"
+)
+
+// GainFunc returns the directive gain (dB) of an antenna toward a
+// direction in its local frame.
+type GainFunc func(az, el float64) float64
+
+// Budget collects the scalar link-budget terms.
+type Budget struct {
+	// TxPowerDBm is the conducted transmit power per frame.
+	TxPowerDBm float64
+	// NoiseFloorDBm is thermal noise plus receiver noise figure over the
+	// 1.76 GHz 802.11ad channel.
+	NoiseFloorDBm float64
+}
+
+// DefaultBudget returns the calibrated budget of the simulated testbed.
+// With the Talon array model a good sector pair reaches ≈18 dB true SNR
+// at 3 m — the chamber-measured patterns of strong sectors saturate at
+// the firmware's 12 dB reporting ceiling exactly as the flat-topped main
+// lobes of the paper's Figure 5 do — and ≈11 dB at the 6 m
+// conference-room distance, where readings stay inside the window and
+// fluctuate, driving the stock sweep's selection instability.
+func DefaultBudget() Budget {
+	return Budget{
+		TxPowerDBm:    9,
+		NoiseFloorDBm: -71.5, // -174 dBm/Hz + 92.5 dB (1.76 GHz) + 10 dB NF
+	}
+}
+
+// TrueSNR combines every propagation ray between the posed devices with
+// the endpoint gain functions and returns the resulting SNR in dB.
+// Rays add up in power (the selection algorithm is non-coherent).
+func TrueSNR(env *channel.Environment, txPose, rxPose channel.Pose, txGain, rxGain GainFunc, b Budget) float64 {
+	rays := env.Rays(txPose.Pos, rxPose.Pos)
+	power := 0.0
+	for _, r := range rays {
+		azT, elT := txPose.ToLocal(r.AoD)
+		azR, elR := rxPose.ToLocal(r.AoA)
+		gt := txGain(azT, elT)
+		gr := rxGain(azR, elR)
+		if math.IsInf(gt, -1) || math.IsInf(gr, -1) || math.IsNaN(gt) || math.IsNaN(gr) {
+			continue
+		}
+		rxDBm := b.TxPowerDBm + gt - r.PathLossDB() + gr
+		power += stats.Lin(rxDBm)
+	}
+	if power <= 0 {
+		return math.Inf(-1)
+	}
+	return stats.DB(power) - b.NoiseFloorDBm
+}
+
+// DominantRayAngles returns the angle of arrival (local to rxPose) of the
+// strongest ray under isotropic endpoints — the physical ground truth the
+// angle-of-arrival estimator is judged against.
+func DominantRayAngles(env *channel.Environment, txPose, rxPose channel.Pose) (az, el float64, ok bool) {
+	rays := env.Rays(txPose.Pos, rxPose.Pos)
+	best := math.Inf(1)
+	for _, r := range rays {
+		if loss := r.PathLossDB(); loss < best {
+			best = loss
+			az, el = rxPose.ToLocal(r.AoA)
+			ok = true
+		}
+	}
+	return az, el, ok
+}
+
+// DominantDepartureAngles returns the angle of departure (local to txPose)
+// of the strongest ray under isotropic endpoints. Compressive sector
+// selection estimates exactly this angle: the direction the transmitter
+// should steer toward.
+func DominantDepartureAngles(env *channel.Environment, txPose, rxPose channel.Pose) (az, el float64, ok bool) {
+	rays := env.Rays(txPose.Pos, rxPose.Pos)
+	best := math.Inf(1)
+	for _, r := range rays {
+		if loss := r.PathLossDB(); loss < best {
+			best = loss
+			az, el = txPose.ToLocal(r.AoD)
+			ok = true
+		}
+	}
+	return az, el, ok
+}

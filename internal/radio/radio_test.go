@@ -1,0 +1,267 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"talon/internal/antenna"
+	"talon/internal/channel"
+	"talon/internal/geom"
+	"talon/internal/stats"
+)
+
+func isotropic(az, el float64) float64 { return 0 }
+
+func TestTrueSNRFreeSpace(t *testing.T) {
+	env := channel.AnechoicChamber()
+	b := DefaultBudget()
+	tx := channel.Pose{}
+	rxPose := channel.Pose{Pos: geom.Point{X: 3}, Yaw: 180}
+	snr := TrueSNR(env, tx, rxPose, isotropic, isotropic, b)
+	want := b.TxPowerDBm - channel.FSPL(3) - b.NoiseFloorDBm
+	if math.Abs(snr-want) > 1e-9 {
+		t.Fatalf("SNR = %v, want %v", snr, want)
+	}
+}
+
+func TestTrueSNRGainAdds(t *testing.T) {
+	env := channel.AnechoicChamber()
+	b := DefaultBudget()
+	tx := channel.Pose{}
+	rx := channel.Pose{Yaw: 180}
+	rx.Pos.X = 3
+	base := TrueSNR(env, tx, rx, isotropic, isotropic, b)
+	withGain := TrueSNR(env, tx, rx,
+		func(az, el float64) float64 { return 10 }, isotropic, b)
+	if math.Abs(withGain-base-10) > 1e-9 {
+		t.Fatalf("10 dB TX gain changed SNR by %v", withGain-base)
+	}
+}
+
+func TestTrueSNRUsesLocalAngles(t *testing.T) {
+	env := channel.AnechoicChamber()
+	b := DefaultBudget()
+	tx := channel.Pose{}
+	rx := channel.Pose{Yaw: 180}
+	rx.Pos.X = 3
+	// A TX gain pattern that only radiates at boresight: with the link
+	// along boresight it contributes; when the device yaws away, the
+	// local angle moves off boresight and the link collapses.
+	pencil := func(az, el float64) float64 {
+		if math.Abs(az) < 5 && math.Abs(el) < 5 {
+			return 15
+		}
+		return -40
+	}
+	onAxis := TrueSNR(env, tx, rx, pencil, isotropic, b)
+	txYawed := channel.Pose{Yaw: 60}
+	offAxis := TrueSNR(env, txYawed, rx, pencil, isotropic, b)
+	if onAxis-offAxis < 50 {
+		t.Fatalf("yaw did not move pattern: on %v off %v", onAxis, offAxis)
+	}
+}
+
+func TestTrueSNRMultipathAddsPower(t *testing.T) {
+	b := DefaultBudget()
+	tx := channel.Pose{}
+	rx := channel.Pose{Yaw: 180}
+	rx.Pos.X = 4
+	losOnly := TrueSNR(channel.AnechoicChamber(), tx, rx, isotropic, isotropic, b)
+	env := &channel.Environment{
+		Name:       "mirror",
+		Reflectors: []channel.Reflector{channel.NewWallY("w", 1, -10, 10, -10, 10, 0)},
+	}
+	withRefl := TrueSNR(env, tx, rx, isotropic, isotropic, b)
+	if withRefl <= losOnly {
+		t.Fatalf("reflection removed power: %v vs %v", withRefl, losOnly)
+	}
+}
+
+func TestTrueSNRNoPaths(t *testing.T) {
+	env := &channel.Environment{Name: "void", LOSBlocked: true}
+	b := DefaultBudget()
+	rx := channel.Pose{}
+	rx.Pos.X = 3
+	if snr := TrueSNR(env, channel.Pose{}, rx, isotropic, isotropic, b); !math.IsInf(snr, -1) {
+		t.Fatalf("SNR without paths = %v", snr)
+	}
+}
+
+func TestDominantRayAngles(t *testing.T) {
+	env := channel.ConferenceRoom()
+	tx := channel.Pose{Pos: geom.Point{X: 0, Y: 0, Z: 1.2}}
+	rx := channel.Pose{Pos: geom.Point{X: 6, Y: 0, Z: 1.2}, Yaw: 180}
+	az, el, ok := DominantRayAngles(env, tx, rx)
+	if !ok {
+		t.Fatal("no dominant ray")
+	}
+	// LOS dominates; the receiver is yawed 180°, so the arrival is on
+	// its boresight.
+	if math.Abs(az) > 1e-6 || math.Abs(el) > 1e-6 {
+		t.Fatalf("dominant AoA = (%v, %v), want boresight", az, el)
+	}
+}
+
+func TestCalibratedLinkBudgetWindow(t *testing.T) {
+	// End-to-end sanity: a good Talon sector pair at 3 m lands above the
+	// firmware's 12 dB SNR ceiling, and remains decodable at 6 m.
+	rng := stats.NewRNG(1)
+	arr, err := antenna.New(antenna.TalonConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := antenna.Talon(arr)
+	w63, _ := cb.Weights(63)
+	wRX, _ := cb.Weights(0)
+	txGain := func(az, el float64) float64 { return arr.Gain(w63, az, el) }
+	rxGain := func(az, el float64) float64 { return arr.Gain(wRX, az, el) }
+	b := DefaultBudget()
+	tx := channel.Pose{}
+	rx := channel.Pose{Yaw: 180}
+	rx.Pos.X = 3
+	snr3 := TrueSNR(channel.AnechoicChamber(), tx, rx, txGain, rxGain, b)
+	if snr3 < 10 || snr3 > 24 {
+		t.Fatalf("3 m boresight SNR = %v, want at or above the 12 dB reporting ceiling", snr3)
+	}
+	rx.Pos.X = 6
+	snr6 := TrueSNR(channel.AnechoicChamber(), tx, rx, txGain, rxGain, b)
+	if snr6 < 2 {
+		t.Fatalf("6 m boresight SNR = %v, too weak", snr6)
+	}
+}
+
+func TestObserveQuantizationAndClamp(t *testing.T) {
+	m := DefaultMeasurementModel()
+	// Suppress stochastics to test the deterministic pipeline.
+	m.SNRNoiseStdDB, m.RSSINoiseStdDB, m.LowSNRNoiseBoost = 0, 0, 0
+	m.OutlierProb, m.BaseMissProb = 0, 0
+	m.DecodeThresholdDB = -100 // always decodable for this test
+	rng := stats.NewRNG(1)
+	meas, ok := m.Observe(8.13, rng)
+	if !ok {
+		t.Fatal("strong frame missed")
+	}
+	if meas.SNR != 8.25 {
+		t.Fatalf("SNR = %v, want quarter-dB 8.25", meas.SNR)
+	}
+	if got := math.Mod(meas.RSSI, RSSIQuantumDB); got != 0 {
+		t.Fatalf("RSSI not on 1 dB grid: %v", meas.RSSI)
+	}
+	// Clamping.
+	meas, ok = m.Observe(25, rng)
+	if !ok || meas.SNR != SNRMaxDB {
+		t.Fatalf("high SNR clamp: %+v ok=%v", meas, ok)
+	}
+	meas, ok = m.Observe(-6.7, rng)
+	if !ok || meas.SNR < SNRMinDB {
+		t.Fatalf("low SNR clamp: %+v ok=%v", meas, ok)
+	}
+}
+
+func TestObserveRSSIScale(t *testing.T) {
+	m := DefaultMeasurementModel()
+	m.SNRNoiseStdDB, m.RSSINoiseStdDB, m.LowSNRNoiseBoost = 0, 0, 0
+	m.OutlierProb, m.BaseMissProb = 0, 0
+	rng := stats.NewRNG(1)
+	meas, _ := m.Observe(10, rng)
+	if want := 10 + m.NoiseFloorDBm; math.Abs(meas.RSSI-want) > 0.5 {
+		t.Fatalf("RSSI = %v, want about %v", meas.RSSI, want)
+	}
+}
+
+func TestDecodeProbMonotone(t *testing.T) {
+	m := DefaultMeasurementModel()
+	prev := -1.0
+	for snr := -15.0; snr <= 12; snr += 0.5 {
+		p := m.DecodeProb(snr)
+		if p < prev {
+			t.Fatalf("DecodeProb not monotone at %v", snr)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("DecodeProb out of range: %v", p)
+		}
+		prev = p
+	}
+	if p := m.DecodeProb(math.Inf(-1)); p != 0 {
+		t.Fatalf("DecodeProb(-Inf) = %v", p)
+	}
+	if p := m.DecodeProb(12); p < 0.9 {
+		t.Fatalf("strong frames decode with p = %v", p)
+	}
+}
+
+func TestObserveMissesWeakFrames(t *testing.T) {
+	m := DefaultMeasurementModel()
+	rng := stats.NewRNG(2)
+	missedWeak, missedStrong := 0, 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, ok := m.Observe(-9, rng); !ok {
+			missedWeak++
+		}
+		if _, ok := m.Observe(11, rng); !ok {
+			missedStrong++
+		}
+	}
+	if missedWeak < n/2 {
+		t.Fatalf("weak frames missed only %d/%d", missedWeak, n)
+	}
+	// Strong frames still get silently dropped occasionally.
+	if missedStrong == 0 {
+		t.Fatal("no silent drops at high SNR")
+	}
+	if missedStrong > n/5 {
+		t.Fatalf("too many drops at high SNR: %d/%d", missedStrong, n)
+	}
+}
+
+func TestObserveLowSNRNoisier(t *testing.T) {
+	m := DefaultMeasurementModel()
+	m.OutlierProb = 0
+	rng := stats.NewRNG(3)
+	spread := func(trueSNR float64) float64 {
+		var vals []float64
+		for i := 0; i < 3000; i++ {
+			if meas, ok := m.Observe(trueSNR, rng); ok {
+				vals = append(vals, meas.SNR)
+			}
+		}
+		return stats.StdDev(vals)
+	}
+	lo, hi := spread(-2), spread(10)
+	if lo <= hi {
+		t.Fatalf("low-SNR readings not noisier: std %v vs %v", lo, hi)
+	}
+}
+
+func TestSNRAndRSSIOutliersIndependent(t *testing.T) {
+	m := DefaultMeasurementModel()
+	m.SNRNoiseStdDB, m.RSSINoiseStdDB, m.LowSNRNoiseBoost = 0.01, 0.01, 0
+	m.OutlierProb = 0.2
+	m.BaseMissProb = 0
+	rng := stats.NewRNG(4)
+	both, either := 0, 0
+	for i := 0; i < 5000; i++ {
+		meas, ok := m.Observe(5, rng)
+		if !ok {
+			continue
+		}
+		snrOut := math.Abs(meas.SNR-5) > 2
+		rssiOut := math.Abs(meas.RSSI-(5+m.NoiseFloorDBm)) > 2
+		if snrOut || rssiOut {
+			either++
+		}
+		if snrOut && rssiOut {
+			both++
+		}
+	}
+	if either == 0 {
+		t.Fatal("no outliers generated")
+	}
+	// Independent draws: joint outliers must be much rarer than single
+	// ones (the paper: "fluctuations are not observable in both values
+	// at the same time").
+	if float64(both) > 0.3*float64(either) {
+		t.Fatalf("outliers too correlated: both=%d either=%d", both, either)
+	}
+}

@@ -1,0 +1,93 @@
+// Package sector defines sector identifiers and the sector inventory of the
+// simulated Talon AD7200 / QCA9500 platform.
+//
+// IEEE 802.11ad carries sector IDs in 6-bit fields, so valid on-air IDs are
+// 0–63. The Talon firmware predefines 34 transmit sectors (IDs 1–31 and
+// 61–63) plus one quasi-omni-directional receive sector; IDs 32–60 are
+// undefined on this hardware. Following the paper's Figure 5 we store the
+// receive pattern under the reserved ID 0 ("Sector RX"), which the stock
+// schedules never transmit on.
+package sector
+
+import "fmt"
+
+// ID identifies an antenna sector. On-air encodings use the low 6 bits.
+type ID uint8
+
+// RX is the pseudo-ID under which the quasi-omni receive sector's pattern is
+// stored. It never appears in transmit bursts.
+const RX ID = 0
+
+// MaxID is the largest on-air sector ID (6-bit field).
+const MaxID ID = 63
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	if id == RX {
+		return "RX"
+	}
+	return fmt.Sprintf("%d", uint8(id))
+}
+
+// Valid reports whether the ID fits the 6-bit on-air field.
+func (id ID) Valid() bool { return id <= MaxID }
+
+// TalonTX returns the 34 transmit sector IDs predefined in the Talon
+// AD7200 firmware, in ascending order: 1–31, 61, 62, 63.
+func TalonTX() []ID {
+	out := make([]ID, 0, 34)
+	for i := ID(1); i <= 31; i++ {
+		out = append(out, i)
+	}
+	out = append(out, 61, 62, 63)
+	return out
+}
+
+// TalonAll returns all 35 pattern IDs of the Talon AD7200: the 34 transmit
+// sectors plus the quasi-omni receive sector (RX).
+func TalonAll() []ID {
+	return append(TalonTX(), RX)
+}
+
+// IsTalonTX reports whether id is one of the Talon's predefined transmit
+// sectors.
+func IsTalonTX(id ID) bool {
+	return (id >= 1 && id <= 31) || id == 61 || id == 62 || id == 63
+}
+
+// Set is an ordered collection of unique sector IDs.
+type Set struct {
+	ids  []ID
+	have [MaxID + 1]bool
+}
+
+// NewSet builds a set from ids, dropping duplicates and invalid IDs while
+// preserving first-seen order.
+func NewSet(ids ...ID) *Set {
+	s := &Set{}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id if valid and not yet present. It reports whether the set
+// changed.
+func (s *Set) Add(id ID) bool {
+	if !id.Valid() || s.have[id] {
+		return false
+	}
+	s.have[id] = true
+	s.ids = append(s.ids, id)
+	return true
+}
+
+// Contains reports whether id is in the set.
+func (s *Set) Contains(id ID) bool { return id.Valid() && s.have[id] }
+
+// Len returns the number of sectors in the set.
+func (s *Set) Len() int { return len(s.ids) }
+
+// IDs returns the sector IDs in insertion order. The returned slice must
+// not be modified.
+func (s *Set) IDs() []ID { return s.ids }

@@ -1,0 +1,92 @@
+package sector
+
+import "testing"
+
+func TestTalonTX(t *testing.T) {
+	tx := TalonTX()
+	if len(tx) != 34 {
+		t.Fatalf("len(TalonTX) = %d, want 34", len(tx))
+	}
+	want := map[ID]bool{}
+	for i := ID(1); i <= 31; i++ {
+		want[i] = true
+	}
+	want[61], want[62], want[63] = true, true, true
+	for _, id := range tx {
+		if !want[id] {
+			t.Errorf("unexpected TX sector %v", id)
+		}
+		delete(want, id)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing TX sectors: %v", want)
+	}
+}
+
+func TestTalonAll(t *testing.T) {
+	all := TalonAll()
+	if len(all) != 35 {
+		t.Fatalf("len(TalonAll) = %d, want 35", len(all))
+	}
+	foundRX := false
+	for _, id := range all {
+		if id == RX {
+			foundRX = true
+		}
+	}
+	if !foundRX {
+		t.Fatal("TalonAll missing RX sector")
+	}
+}
+
+func TestIsTalonTX(t *testing.T) {
+	cases := []struct {
+		id   ID
+		want bool
+	}{
+		{0, false}, {1, true}, {31, true}, {32, false}, {60, false},
+		{61, true}, {62, true}, {63, true},
+	}
+	for _, c := range cases {
+		if got := IsTalonTX(c.id); got != c.want {
+			t.Errorf("IsTalonTX(%v) = %v, want %v", c.id, got, c.want)
+		}
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if RX.String() != "RX" {
+		t.Errorf("RX.String() = %q", RX.String())
+	}
+	if ID(12).String() != "12" {
+		t.Errorf("ID(12).String() = %q", ID(12).String())
+	}
+}
+
+func TestIDValid(t *testing.T) {
+	if !ID(63).Valid() || ID(64).Valid() {
+		t.Fatal("Valid boundary wrong")
+	}
+}
+
+func TestSet(t *testing.T) {
+	s := NewSet(3, 1, 3, 64, 2) // 64 invalid, 3 duplicated
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	wantOrder := []ID{3, 1, 2}
+	for i, id := range s.IDs() {
+		if id != wantOrder[i] {
+			t.Fatalf("IDs() = %v, want %v", s.IDs(), wantOrder)
+		}
+	}
+	if !s.Contains(1) || s.Contains(5) || s.Contains(64) {
+		t.Fatal("Contains wrong")
+	}
+	if s.Add(1) {
+		t.Fatal("Add duplicate reported change")
+	}
+	if !s.Add(7) {
+		t.Fatal("Add new reported no change")
+	}
+}

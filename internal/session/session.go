@@ -1,0 +1,248 @@
+// Package session simulates a live link over time: periodic beamtraining
+// (stock sweep or compressive), data transfer in between, and device
+// mobility. It quantifies the Section 7 discussion — shorter trainings
+// can run more often without degrading throughput, which is what makes
+// compressive selection attractive for mobile mm-wave scenarios.
+package session
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"talon/internal/core"
+	"talon/internal/dot11ad"
+	"talon/internal/mcs"
+	"talon/internal/sector"
+	"talon/internal/stats"
+	"talon/internal/wil"
+)
+
+// Policy decides how one training round runs.
+type Policy interface {
+	// Name labels the policy in results.
+	Name() string
+	// Train probes the link from tx to rx and returns the chosen
+	// transmit sector plus the number of probes spent.
+	Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error)
+}
+
+// SSWPolicy is the stock full sector sweep.
+type SSWPolicy struct{}
+
+// Name implements Policy.
+func (SSWPolicy) Name() string { return "SSW" }
+
+// Train implements Policy: probe everything, pick the reported argmax.
+func (SSWPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+	meas, err := link.RunTXSS(tx, rx, dot11ad.SweepSchedule())
+	if err != nil {
+		return 0, 0, err
+	}
+	id, ok := core.SweepSelect(core.MeasurementsToProbes(sector.TalonTX(), meas))
+	if !ok {
+		return 0, 34, fmt.Errorf("session: sweep produced no measurements")
+	}
+	return id, 34, nil
+}
+
+// CSSPolicy is compressive sector selection with a fixed probe budget.
+type CSSPolicy struct {
+	// Estimator must be built from tx's measured patterns.
+	Estimator *core.Estimator
+	// M is the probe budget.
+	M int
+	// RNG draws the probing subsets.
+	RNG *stats.RNG
+}
+
+// Name implements Policy.
+func (p *CSSPolicy) Name() string { return fmt.Sprintf("CSS-%d", p.M) }
+
+// Train implements Policy.
+func (p *CSSPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+	probeSet, err := core.RandomProbes(p.RNG, sector.TalonTX(), p.M)
+	if err != nil {
+		return 0, 0, err
+	}
+	meas, err := link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
+	if err != nil {
+		return 0, 0, err
+	}
+	sel, err := p.Estimator.SelectSector(core.ProbesFromMeasurements(probeSet.IDs(), meas))
+	if err != nil {
+		return 0, p.M, err
+	}
+	return sel.Sector, p.M, nil
+}
+
+// AdaptiveCSSPolicy wraps CSS with the adaptive probe-count controller.
+type AdaptiveCSSPolicy struct {
+	Estimator  *core.Estimator
+	Controller *core.AdaptiveController
+	RNG        *stats.RNG
+}
+
+// Name implements Policy.
+func (p *AdaptiveCSSPolicy) Name() string { return "CSS-adaptive" }
+
+// Train implements Policy.
+func (p *AdaptiveCSSPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+	inner := &CSSPolicy{Estimator: p.Estimator, M: p.Controller.M(), RNG: p.RNG}
+	id, probes, err := inner.Train(link, tx, rx)
+	if err == nil {
+		p.Controller.Observe(id)
+	}
+	return id, probes, err
+}
+
+// Config shapes a session run.
+type Config struct {
+	// Duration is the simulated time span.
+	Duration time.Duration
+	// TrainingInterval is the retraining period (the Talon retrains at
+	// least once per second).
+	TrainingInterval time.Duration
+	// Mobility, if set, is called with the elapsed time before every
+	// training and every evaluation step, and may reposition the
+	// devices. Motion between trainings makes the previous selection
+	// stale — the effect that rewards frequent retraining.
+	Mobility func(t time.Duration, tx, rx *wil.Device)
+	// EvalStep is the sampling period of link quality between
+	// trainings; it defaults to TrainingInterval/4 (at most 250 ms).
+	EvalStep time.Duration
+	// Throughput is the rate model; zero value uses the default.
+	Throughput mcs.ThroughputModel
+}
+
+// Point is one training interval of the session.
+type Point struct {
+	// T is the interval's start time.
+	T time.Duration
+	// Sector is the transmit sector in use.
+	Sector sector.ID
+	// TrueSNR and OptimalSNR are the selected sector's and the best
+	// sector's noiseless SNR.
+	TrueSNR, OptimalSNR float64
+	// ThroughputMbps is the interval's expected application throughput.
+	ThroughputMbps float64
+	// Probes is the training cost of this interval.
+	Probes int
+	// TrainFailed marks intervals whose training produced no selection
+	// (the previous sector stays in use).
+	TrainFailed bool
+}
+
+// Result summarizes a session.
+type Result struct {
+	Policy string
+	Points []Point
+	// MeanThroughputMbps averages the per-interval throughputs.
+	MeanThroughputMbps float64
+	// MeanLossDB averages trueSNR(optimal) − trueSNR(selected).
+	MeanLossDB float64
+	// TotalProbes sums the training cost.
+	TotalProbes int
+}
+
+// Run simulates the session: every TrainingInterval the policy retrains
+// (after Mobility moved the devices), and the interval's throughput is
+// computed from the selected sector's true SNR minus the training
+// airtime overhead.
+func Run(link *wil.Link, tx, rx *wil.Device, policy Policy, cfg Config) (*Result, error) {
+	if cfg.Duration <= 0 {
+		return nil, fmt.Errorf("session: duration must be positive")
+	}
+	if cfg.TrainingInterval <= 0 {
+		cfg.TrainingInterval = dot11ad.SweepInterval
+	}
+	model := cfg.Throughput
+	if model.TCPEfficiency == 0 {
+		model = mcs.DefaultThroughputModel()
+	}
+	model.TrainingInterval = cfg.TrainingInterval
+	evalStep := cfg.EvalStep
+	if evalStep <= 0 {
+		evalStep = cfg.TrainingInterval / 4
+		if evalStep > 250*time.Millisecond {
+			evalStep = 250 * time.Millisecond
+		}
+	}
+	if evalStep > cfg.TrainingInterval {
+		evalStep = cfg.TrainingInterval
+	}
+
+	res := &Result{Policy: policy.Name()}
+	var current sector.ID
+	haveSector := false
+	lossSum, lossN := 0.0, 0
+	tpSum := 0.0
+	for t := time.Duration(0); t < cfg.Duration; t += cfg.TrainingInterval {
+		if cfg.Mobility != nil {
+			cfg.Mobility(t, tx, rx)
+		}
+		id, probes, err := policy.Train(link, tx, rx)
+		res.TotalProbes += probes
+		trainFailed := err != nil
+		if !trainFailed {
+			current, haveSector = id, true
+		}
+		trainTime := dot11ad.MutualTrainingTime(probes)
+
+		// Sample link quality across the interval while the devices
+		// keep moving and the selection goes stale.
+		for te := t; te < t+cfg.TrainingInterval && te < cfg.Duration; te += evalStep {
+			if cfg.Mobility != nil {
+				cfg.Mobility(te, tx, rx)
+			}
+			pt := Point{T: te, Probes: probes, TrainFailed: trainFailed}
+			if !haveSector {
+				res.Points = append(res.Points, pt)
+				continue
+			}
+			pt.Sector = current
+			pt.TrueSNR = link.TrueSNR(tx, rx, current)
+			pt.OptimalSNR = math.Inf(-1)
+			for _, sid := range sector.TalonTX() {
+				if snr := link.TrueSNR(tx, rx, sid); snr > pt.OptimalSNR {
+					pt.OptimalSNR = snr
+				}
+			}
+			pt.ThroughputMbps = model.AppThroughputMbps(pt.TrueSNR, trainTime)
+			tpSum += pt.ThroughputMbps
+			if !math.IsInf(pt.TrueSNR, -1) && !math.IsInf(pt.OptimalSNR, -1) {
+				lossSum += pt.OptimalSNR - pt.TrueSNR
+				lossN++
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	if len(res.Points) > 0 {
+		res.MeanThroughputMbps = tpSum / float64(len(res.Points))
+	}
+	if lossN > 0 {
+		res.MeanLossDB = lossSum / float64(lossN)
+	}
+	return res, nil
+}
+
+// OrbitMobility returns a mobility function that swings the receiver on
+// a radius-meter arc around the transmitter at degPerSec, the rotating
+// head of the tracking experiments.
+func OrbitMobility(radius, degPerSec float64) func(t time.Duration, tx, rx *wil.Device) {
+	return func(t time.Duration, tx, rx *wil.Device) {
+		az := degPerSec * t.Seconds()
+		// Swing back and forth over ±60°.
+		az = math.Mod(az, 240)
+		if az > 120 {
+			az = 240 - az
+		}
+		az -= 60
+		pose := rx.Pose()
+		rad := az * math.Pi / 180
+		pose.Pos.X = tx.Pose().Pos.X + radius*math.Cos(rad)
+		pose.Pos.Y = tx.Pose().Pos.Y + radius*math.Sin(rad)
+		pose.Yaw = 180 + az
+		rx.SetPose(pose)
+	}
+}

@@ -1,0 +1,78 @@
+// Package stats bundles the deterministic randomness and the descriptive
+// statistics used across the evaluation harness: a seedable RNG, quantiles,
+// box-plot summaries matching the paper's plots (median, 50% box, 99%
+// whiskers) and small interpolation helpers.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic pseudo-random source. All stochastic components in
+// the code base (hardware imperfections, measurement noise, probing-subset
+// choice) draw from an RNG so that experiments are reproducible from a seed.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic RNG seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child RNG. Children are labelled so that the
+// stream consumed by one subsystem does not shift when another subsystem
+// draws more or fewer values.
+func (g *RNG) Split(label string) *RNG {
+	var h int64 = 1469598103934665603 // FNV-1a offset basis
+	for i := 0; i < len(label); i++ {
+		h ^= int64(label[i])
+		h *= 1099511628211
+	}
+	return NewRNG(h ^ g.r.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform value in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation.
+func (g *RNG) Norm(mean, std float64) float64 { return mean + std*g.r.NormFloat64() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (g *RNG) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*g.r.Float64() }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Perm returns a random permutation of [0, n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Sample returns k distinct values drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (g *RNG) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: Sample size out of range")
+	}
+	p := g.r.Perm(n)
+	return p[:k]
+}
+
+// Shuffle randomizes the order of the n elements using swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Exp returns an exponentially distributed value with the given mean.
+func (g *RNG) Exp(mean float64) float64 { return g.r.ExpFloat64() * mean }
+
+// StudentTish returns a heavy-tailed sample (scaled ratio of a normal and a
+// chi-like draw) used to model the severe measurement outliers the paper
+// observed in the firmware's signal-strength reports.
+func (g *RNG) StudentTish(scale float64) float64 {
+	n := g.r.NormFloat64()
+	d := math.Abs(g.r.NormFloat64())*0.7 + 0.3
+	return scale * n / d
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	root := NewRNG(1)
+	a := root.Split("alpha")
+	root2 := NewRNG(1)
+	b := root2.Split("alpha")
+	for i := 0; i < 50; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("Split with same label from same parent state diverged")
+		}
+	}
+	// Different labels must give different streams.
+	x := NewRNG(1).Split("alpha")
+	y := NewRNG(1).Split("beta")
+	same := 0
+	for i := 0; i < 20; i++ {
+		if x.Float64() == y.Float64() {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Fatal("Split labels produced identical streams")
+	}
+}
+
+func TestSample(t *testing.T) {
+	g := NewRNG(7)
+	s := g.Sample(10, 4)
+	if len(s) != 4 {
+		t.Fatalf("len = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 {
+			t.Fatalf("out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate: %d", v)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	g.Sample(3, 4)
+}
+
+func TestSampleFull(t *testing.T) {
+	g := NewRNG(9)
+	s := g.Sample(5, 5)
+	sort.Ints(s)
+	for i, v := range s {
+		if v != i {
+			t.Fatalf("Sample(5,5) missing %d", i)
+		}
+	}
+}
+
+func TestRNGDistributionsSane(t *testing.T) {
+	g := NewRNG(123)
+	n := 20000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := g.Norm(3, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean-3) > 0.1 || math.Abs(std-2) > 0.1 {
+		t.Fatalf("Norm(3,2): mean %v std %v", mean, std)
+	}
+	for i := 0; i < 1000; i++ {
+		u := g.Uniform(-2, 5)
+		if u < -2 || u >= 5 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+	}
+	heads := 0
+	for i := 0; i < 10000; i++ {
+		if g.Bool(0.25) {
+			heads++
+		}
+	}
+	if heads < 2200 || heads > 2800 {
+		t.Fatalf("Bool(0.25) frequency: %d/10000", heads)
+	}
+}
+
+func TestStudentTishHeavyTails(t *testing.T) {
+	g := NewRNG(5)
+	big := 0
+	for i := 0; i < 10000; i++ {
+		if math.Abs(g.StudentTish(1)) > 4 {
+			big++
+		}
+	}
+	// A unit normal would exceed 4 sigma ~0.006% of the time; the
+	// heavy-tailed draw must do so far more often.
+	if big < 50 {
+		t.Fatalf("StudentTish tails too light: %d/10000 beyond 4", big)
+	}
+}
+
+func TestMeanMedianQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if got := Mean(xs); got != 2.5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Median(xs); got != 2.5 {
+		t.Fatalf("Median = %v", got)
+	}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("Q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 4 {
+		t.Fatalf("Q1 = %v", got)
+	}
+	if got := Quantile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	nan := math.NaN()
+	xs := []float64{nan, 2, nan, 4}
+	if got := Mean(xs); got != 3 {
+		t.Fatalf("NaN-aware Mean = %v", got)
+	}
+	if got := Median(xs); got != 3 {
+		t.Fatalf("NaN-aware Median = %v", got)
+	}
+	if got := Min(xs); got != 2 {
+		t.Fatalf("Min = %v", got)
+	}
+	if got := Max(xs); got != 4 {
+		t.Fatalf("Max = %v", got)
+	}
+	if !math.IsNaN(Mean([]float64{nan})) || !math.IsNaN(Mean(nil)) {
+		t.Fatal("empty/all-NaN Mean not NaN")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty Quantile not NaN")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2.138) > 0.01 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if !math.IsNaN(StdDev([]float64{1})) {
+		t.Fatal("StdDev of singleton not NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, math.Mod(v, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		return Quantile(xs, q1) <= Quantile(xs, q2)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBox(t *testing.T) {
+	xs := make([]float64, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		xs = append(xs, float64(i))
+	}
+	b := Box(xs)
+	if b.N != 1000 {
+		t.Fatalf("N = %d", b.N)
+	}
+	if math.Abs(b.Median-499.5) > 1e-9 {
+		t.Fatalf("Median = %v", b.Median)
+	}
+	if b.BoxLo > b.Median || b.BoxHi < b.Median {
+		t.Fatal("box does not contain median")
+	}
+	if b.WhiskLo > b.BoxLo || b.WhiskHi < b.BoxHi {
+		t.Fatal("whiskers inside box")
+	}
+	empty := Box(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Median) {
+		t.Fatalf("empty Box = %+v", empty)
+	}
+}
+
+func TestDBLinRoundTrip(t *testing.T) {
+	for _, db := range []float64{-30, -3, 0, 3, 10, 25} {
+		if got := DB(Lin(db)); math.Abs(got-db) > 1e-9 {
+			t.Fatalf("DB(Lin(%v)) = %v", db, got)
+		}
+	}
+	if !math.IsInf(DB(0), -1) || !math.IsInf(DB(-1), -1) {
+		t.Fatal("DB of non-positive not -Inf")
+	}
+}
+
+func TestLerp(t *testing.T) {
+	if Lerp(2, 6, 0.25) != 3 {
+		t.Fatal("Lerp")
+	}
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+// NaN elements are ignored; if all elements are NaN the result is NaN.
+func Mean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		sum += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// StdDev returns the sample standard deviation of xs (NaN-aware), or NaN if
+// fewer than two valid samples exist.
+func StdDev(xs []float64) float64 {
+	m := Mean(xs)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		d := x - m
+		sum += d * d
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(sum / float64(n-1))
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of xs using linear
+// interpolation between order statistics. NaN elements are ignored. It
+// returns NaN for an empty input.
+func Quantile(xs []float64, q float64) float64 {
+	v := compactSorted(xs)
+	if len(v) == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return v[0]
+	}
+	if q >= 1 {
+		return v[len(v)-1]
+	}
+	pos := q * float64(len(v)-1)
+	i := int(math.Floor(pos))
+	frac := pos - float64(i)
+	if i+1 >= len(v) {
+		return v[len(v)-1]
+	}
+	return v[i]*(1-frac) + v[i+1]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Min returns the smallest valid value, or NaN for an empty input.
+func Min(xs []float64) float64 {
+	out, ok := math.NaN(), false
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if !ok || x < out {
+			out, ok = x, true
+		}
+	}
+	return out
+}
+
+// Max returns the largest valid value, or NaN for an empty input.
+func Max(xs []float64) float64 {
+	out, ok := math.NaN(), false
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		if !ok || x > out {
+			out, ok = x, true
+		}
+	}
+	return out
+}
+
+func compactSorted(xs []float64) []float64 {
+	v := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			v = append(v, x)
+		}
+	}
+	sort.Float64s(v)
+	return v
+}
+
+// BoxStats summarizes a sample the way the paper's box plots do: the box
+// spans the central 50% of the data, the whiskers the central 99%, and the
+// dash is the median.
+type BoxStats struct {
+	Median  float64
+	BoxLo   float64 // 25th percentile
+	BoxHi   float64 // 75th percentile
+	WhiskLo float64 // 0.5th percentile
+	WhiskHi float64 // 99.5th percentile
+	N       int     // number of valid samples
+}
+
+// Box computes the box-plot summary of xs. NaN elements are ignored.
+func Box(xs []float64) BoxStats {
+	v := compactSorted(xs)
+	b := BoxStats{N: len(v)}
+	if len(v) == 0 {
+		nan := math.NaN()
+		return BoxStats{Median: nan, BoxLo: nan, BoxHi: nan, WhiskLo: nan, WhiskHi: nan}
+	}
+	b.Median = Quantile(v, 0.5)
+	b.BoxLo = Quantile(v, 0.25)
+	b.BoxHi = Quantile(v, 0.75)
+	b.WhiskLo = Quantile(v, 0.005)
+	b.WhiskHi = Quantile(v, 0.995)
+	return b
+}
+
+// Lerp linearly interpolates between a and b by t in [0, 1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// DB converts a linear power ratio to decibels; zero or negative input
+// yields -Inf.
+func DB(lin float64) float64 {
+	if lin <= 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(lin)
+}
+
+// Lin converts decibels to a linear power ratio.
+func Lin(db float64) float64 { return math.Pow(10, db/10) }

@@ -1,0 +1,283 @@
+package wil
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"talon/internal/channel"
+	"talon/internal/dot11ad"
+	"talon/internal/radio"
+	"talon/internal/sector"
+)
+
+// Link couples two devices through an environment and runs the IEEE
+// 802.11ad sector-level sweep (SLS) between them, frame by frame: every
+// frame is serialized, propagated through the channel with the sector
+// patterns in effect, subjected to the receiver's measurement model and
+// decoded again.
+type Link struct {
+	Env    *channel.Environment
+	Budget radio.Budget
+	A, B   *Device
+
+	sniffers []*Sniffer
+	clock    time.Duration
+}
+
+// NewLink connects a and b in env with the default budget.
+func NewLink(env *channel.Environment, a, b *Device) *Link {
+	return &Link{Env: env, Budget: radio.DefaultBudget(), A: a, B: b}
+}
+
+// Now returns the link's virtual clock: airtime accumulated by every
+// transmission so far.
+func (l *Link) Now() time.Duration { return l.clock }
+
+// transmit advances the virtual clock by the frame's airtime and offers
+// the transmission to every attached sniffer.
+func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time.Duration) {
+	l.clock += airtime
+	if len(l.sniffers) == 0 {
+		return
+	}
+	txGain, err := tx.TXGain(txSector)
+	if err != nil {
+		return
+	}
+	for _, s := range l.sniffers {
+		if s.dev == tx {
+			continue // half duplex: a device cannot capture itself
+		}
+		snr := radio.TrueSNR(l.Env, tx.Pose(), s.dev.Pose(), txGain, s.dev.RXGain(), l.Budget)
+		meas, ok := s.dev.Model().Observe(snr, s.dev.MeasRNG())
+		if !ok {
+			continue
+		}
+		frame, err := dot11ad.DecodeFrame(raw)
+		if err != nil {
+			continue
+		}
+		s.captures = append(s.captures, Capture{
+			Time:  l.clock,
+			Raw:   append([]byte(nil), raw...),
+			Frame: frame,
+			Meas:  meas,
+		})
+	}
+}
+
+// Deliver transmits raw from tx on txSector and attempts reception at rx
+// on its quasi-omni sector. It returns the decoded frame and measurement
+// when the receiver decodes the frame. Attached sniffers observe the
+// transmission either way.
+func (l *Link) Deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad.Frame, radio.Measurement, bool) {
+	l.transmit(tx, txSector, raw, dot11ad.SSWFrameTime)
+	txGain, err := tx.TXGain(txSector)
+	if err != nil {
+		return nil, radio.Measurement{}, false
+	}
+	trueSNR := radio.TrueSNR(l.Env, tx.Pose(), rx.Pose(), txGain, rx.RXGain(), l.Budget)
+	meas, ok := rx.Model().Observe(trueSNR, rx.MeasRNG())
+	if !ok {
+		return nil, radio.Measurement{}, false
+	}
+	frame, err := dot11ad.DecodeFrame(raw)
+	if err != nil {
+		return nil, radio.Measurement{}, false
+	}
+	return frame, meas, true
+}
+
+// TransmitBeaconBurst sends ap's DMG beacon burst (the Table 1 beacon
+// schedule) to the broadcast address. Receivers are the attached
+// sniffers; the peer's firmware does not process beacons in this model.
+func (l *Link) TransmitBeaconBurst(ap *Device) error {
+	broadcast := dot11ad.MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	for _, slot := range dot11ad.BeaconSchedule() {
+		if !slot.Used {
+			continue
+		}
+		frame := &dot11ad.Frame{
+			Type:             dot11ad.TypeDMGBeacon,
+			RA:               broadcast,
+			TA:               ap.MAC(),
+			SSW:              dot11ad.SSWField{CDOWN: slot.CDOWN, SectorID: slot.Sector},
+			BeaconIntervalTU: 100,
+		}
+		raw, err := frame.Serialize()
+		if err != nil {
+			return fmt.Errorf("wil: beacon frame: %w", err)
+		}
+		l.transmit(ap, slot.Sector, raw, dot11ad.SSWFrameTime)
+	}
+	return nil
+}
+
+// TrueSNR returns the noiseless SNR from tx on txSector to rx — ground
+// truth for evaluation, not visible to the protocol.
+func (l *Link) TrueSNR(tx, rx *Device, txSector sector.ID) float64 {
+	txGain, err := tx.TXGain(txSector)
+	if err != nil {
+		return math.Inf(-1)
+	}
+	return radio.TrueSNR(l.Env, tx.Pose(), rx.Pose(), txGain, rx.RXGain(), l.Budget)
+}
+
+// SLSResult summarizes one mutual sector-level sweep.
+type SLSResult struct {
+	// InitiatorTX / ResponderTX are the transmit sectors each side ends
+	// up with (from the feedback they decoded). OK flags report whether
+	// the corresponding feedback arrived.
+	InitiatorTX   sector.ID
+	InitiatorTXOK bool
+	ResponderTX   sector.ID
+	ResponderTXOK bool
+	// AtResponder holds the responder's measurements of the initiator's
+	// probed sectors; AtInitiator vice versa.
+	AtResponder map[sector.ID]radio.Measurement
+	AtInitiator map[sector.ID]radio.Measurement
+	// FramesSent and FramesDelivered count SSW frames of both bursts.
+	FramesSent      int
+	FramesDelivered int
+	// FeedbackDelivered and AckDelivered track the closing handshake.
+	FeedbackDelivered bool
+	AckDelivered      bool
+	// Duration is the airtime of the whole training.
+	Duration time.Duration
+}
+
+// RunSLS performs a mutual transmit-sector training: the initiator sweep
+// (ISS) over initSlots, the responder sweep (RSS) over respSlots carrying
+// the responder's feedback, then the SSW-Feedback and SSW-Ack exchange.
+// Slots usually come from dot11ad.SweepSchedule (stock full sweep) or
+// dot11ad.SubSweepSchedule (compressive probing subset).
+func (l *Link) RunSLS(init, resp *Device, initSlots, respSlots []dot11ad.BurstSlot) (*SLSResult, error) {
+	res := &SLSResult{}
+
+	// --- Initiator sector sweep ---
+	resp.Firmware().BeginRXSweep()
+	for _, slot := range initSlots {
+		if !slot.Used {
+			continue
+		}
+		res.FramesSent++
+		frame := dot11ad.NewSSWFrame(resp.MAC(), init.MAC(), dot11ad.DirectionInitiator, slot.CDOWN, slot.Sector, dot11ad.SSWFeedbackField{})
+		raw, err := frame.Serialize()
+		if err != nil {
+			return nil, fmt.Errorf("wil: ISS frame: %w", err)
+		}
+		if got, meas, ok := l.Deliver(init, resp, slot.Sector, raw); ok {
+			res.FramesDelivered++
+			resp.Firmware().RecordSSW(got.SSW.SectorID, got.SSW.CDOWN, meas)
+		}
+	}
+
+	// --- Responder sector sweep, carrying feedback for the initiator ---
+	feedbackForInit, haveFeedback := resp.Firmware().FeedbackSector()
+	respBestSNR := math.Inf(-1)
+	if m, ok := resp.Firmware().SweepMeasurements()[feedbackForInit]; ok {
+		respBestSNR = m.SNR
+	}
+	init.Firmware().BeginRXSweep()
+	for _, slot := range respSlots {
+		if !slot.Used {
+			continue
+		}
+		res.FramesSent++
+		fb := dot11ad.SSWFeedbackField{}
+		if haveFeedback {
+			fb.SectorSelect = feedbackForInit
+			fb.SNRReport = dot11ad.EncodeSNR(respBestSNR)
+		}
+		frame := dot11ad.NewSSWFrame(init.MAC(), resp.MAC(), dot11ad.DirectionResponder, slot.CDOWN, slot.Sector, fb)
+		raw, err := frame.Serialize()
+		if err != nil {
+			return nil, fmt.Errorf("wil: RSS frame: %w", err)
+		}
+		if got, meas, ok := l.Deliver(resp, init, slot.Sector, raw); ok {
+			res.FramesDelivered++
+			init.Firmware().RecordSSW(got.SSW.SectorID, got.SSW.CDOWN, meas)
+			if haveFeedback {
+				res.InitiatorTX = got.Feedback.SectorSelect
+				res.InitiatorTXOK = true
+			}
+		}
+	}
+
+	// --- SSW Feedback: initiator tells the responder its sector ---
+	feedbackForResp, haveRespFeedback := init.Firmware().FeedbackSector()
+	fbTxSector := sector.ID(63) // fallback before any feedback is known
+	if res.InitiatorTXOK {
+		fbTxSector = res.InitiatorTX
+	}
+	if haveRespFeedback {
+		fbFrame := &dot11ad.Frame{
+			Type: dot11ad.TypeSSWFeedback,
+			RA:   resp.MAC(),
+			TA:   init.MAC(),
+			Feedback: dot11ad.SSWFeedbackField{
+				SectorSelect: feedbackForResp,
+				SNRReport:    dot11ad.EncodeSNR(bestSNROf(init, feedbackForResp)),
+			},
+		}
+		raw, err := fbFrame.Serialize()
+		if err != nil {
+			return nil, fmt.Errorf("wil: feedback frame: %w", err)
+		}
+		if got, _, ok := l.Deliver(init, resp, fbTxSector, raw); ok {
+			res.FeedbackDelivered = true
+			res.ResponderTX = got.Feedback.SectorSelect
+			res.ResponderTXOK = true
+
+			// --- SSW Ack: responder acknowledges on its new sector ---
+			ack := &dot11ad.Frame{
+				Type:     dot11ad.TypeSSWAck,
+				RA:       init.MAC(),
+				TA:       resp.MAC(),
+				Feedback: got.Feedback,
+			}
+			rawAck, err := ack.Serialize()
+			if err != nil {
+				return nil, fmt.Errorf("wil: ack frame: %w", err)
+			}
+			if _, _, ok := l.Deliver(resp, init, res.ResponderTX, rawAck); ok {
+				res.AckDelivered = true
+			}
+		}
+	}
+
+	res.AtResponder = resp.Firmware().SweepMeasurements()
+	res.AtInitiator = init.Firmware().SweepMeasurements()
+	// Airtime: both bursts plus the handshake overhead.
+	probes := len(dot11ad.UsedSectors(initSlots)) + len(dot11ad.UsedSectors(respSlots))
+	res.Duration = time.Duration(probes)*dot11ad.SSWFrameTime + dot11ad.TrainingOverhead
+	return res, nil
+}
+
+func bestSNROf(d *Device, id sector.ID) float64 {
+	if m, ok := d.Firmware().SweepMeasurements()[id]; ok {
+		return m.SNR
+	}
+	return math.Inf(-1)
+}
+
+// RunTXSS performs a one-directional transmit sector sweep from tx to rx
+// over slots and returns the receiver's measurements keyed by sector.
+func (l *Link) RunTXSS(tx, rx *Device, slots []dot11ad.BurstSlot) (map[sector.ID]radio.Measurement, error) {
+	rx.Firmware().BeginRXSweep()
+	for _, slot := range slots {
+		if !slot.Used {
+			continue
+		}
+		frame := dot11ad.NewSSWFrame(rx.MAC(), tx.MAC(), dot11ad.DirectionInitiator, slot.CDOWN, slot.Sector, dot11ad.SSWFeedbackField{})
+		raw, err := frame.Serialize()
+		if err != nil {
+			return nil, err
+		}
+		if got, meas, ok := l.Deliver(tx, rx, slot.Sector, raw); ok {
+			rx.Firmware().RecordSSW(got.SSW.SectorID, got.SSW.CDOWN, meas)
+		}
+	}
+	return rx.Firmware().SweepMeasurements(), nil
+}

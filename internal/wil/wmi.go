@@ -1,0 +1,112 @@
+package wil
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"talon/internal/dot11ad"
+	"talon/internal/sector"
+)
+
+// WMI (Wireless Module Interface) is the host→firmware command channel of
+// the wil6210 driver. The patched firmware adds commands to arm and clear
+// the sector override; the stock firmware rejects them.
+
+// WMICommandID identifies a WMI command.
+type WMICommandID uint16
+
+// Command IDs added by the firmware patches (vendor IDs are proprietary;
+// these live in the vendor-reserved range used by the talon-tools patches).
+const (
+	// WMISetSweepSector arms the feedback override with a sector ID
+	// (payload: 1 byte sector).
+	WMISetSweepSector WMICommandID = 0x9a1
+	// WMIClearSweepSector disarms the override (no payload).
+	WMIClearSweepSector WMICommandID = 0x9a2
+	// WMIGetSweepSeq returns the ring-buffer record counter (reply:
+	// 4 bytes LE), letting user space poll for fresh measurements.
+	WMIGetSweepSeq WMICommandID = 0x9a3
+)
+
+// HandleWMI executes a command against the firmware and returns the reply
+// payload. Unknown commands and commands whose backing patch is missing
+// fail, as on an unpatched chip.
+func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
+	switch cmd {
+	case WMISetSweepSector:
+		if !f.OverrideEnabled() {
+			return nil, fmt.Errorf("wil: WMI %#x: firmware lacks %s patch", uint16(cmd), PatchNameSectorOverride)
+		}
+		if len(payload) != 1 {
+			return nil, fmt.Errorf("wil: WMI %#x: want 1-byte sector payload, got %d", uint16(cmd), len(payload))
+		}
+		id := sector.ID(payload[0])
+		if !id.Valid() {
+			return nil, fmt.Errorf("wil: WMI %#x: invalid sector %d", uint16(cmd), payload[0])
+		}
+		if err := f.mem.Write(forcedSectorAddr, []byte{1, byte(id)}); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case WMIClearSweepSector:
+		if !f.OverrideEnabled() {
+			return nil, fmt.Errorf("wil: WMI %#x: firmware lacks %s patch", uint16(cmd), PatchNameSectorOverride)
+		}
+		if err := f.mem.Write(forcedSectorAddr, []byte{0, 0}); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case WMIGetSweepSeq:
+		if !f.SweepDumpEnabled() {
+			return nil, fmt.Errorf("wil: WMI %#x: firmware lacks %s patch", uint16(cmd), PatchNameSweepDump)
+		}
+		b, err := f.mem.Read(ringHeaderAddr, 4)
+		if err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("wil: unknown WMI command %#x", uint16(cmd))
+}
+
+// ReadSweepDump decodes the ring buffer from chip memory: the driver-side
+// view of the extraction patch. Records arrive oldest-first; at most
+// RingCapacity records are retained.
+func (f *Firmware) ReadSweepDump() ([]SweepRecord, error) {
+	if !f.SweepDumpEnabled() {
+		return nil, fmt.Errorf("wil: firmware lacks %s patch", PatchNameSweepDump)
+	}
+	hdr, err := f.mem.Read(ringHeaderAddr, 4)
+	if err != nil {
+		return nil, err
+	}
+	total := binary.LittleEndian.Uint32(hdr)
+	count := total
+	if count > RingCapacity {
+		count = RingCapacity
+	}
+	out := make([]SweepRecord, 0, count)
+	for i := uint32(0); i < count; i++ {
+		seq := total - count + i
+		slot := seq % RingCapacity
+		raw, err := f.mem.Read(ringBufferAddr+slot*recordLen, recordLen)
+		if err != nil {
+			return nil, err
+		}
+		if raw[6] != 1 {
+			continue // unwritten slot
+		}
+		out = append(out, decodeRecord(seq, raw))
+	}
+	return out, nil
+}
+
+func decodeRecord(seq uint32, raw []byte) SweepRecord {
+	return SweepRecord{
+		Seq:    seq,
+		Sector: sector.ID(raw[2]),
+		CDOWN:  uint16(raw[5]),
+		SNR:    dot11ad.DecodeSNR(raw[3]),
+		RSSI:   float64(int8(raw[4])),
+	}
+}

@@ -1,0 +1,262 @@
+// Package talon is a simulation-backed reimplementation of "Compressive
+// Millimeter-Wave Sector Selection in Off-the-Shelf IEEE 802.11ad
+// Devices" (Steinmetzer et al., CoNEXT 2017).
+//
+// It bundles the full stack the paper builds on — a 32-element phased
+// array with the Talon AD7200's 35 predefined sectors, 60 GHz propagation
+// environments, the QCA9500 firmware with its Nexmon-style patches and
+// WMI interface, the IEEE 802.11ad sector-sweep MAC, and the anechoic
+// chamber testbed — plus the contribution itself: compressive sector
+// selection (CSS), which probes a random subset of M sectors, estimates
+// the signal's departure angle by correlating the measurements against
+// the device's measured 3D sector patterns, and picks the best of all N
+// sectors toward that angle.
+//
+// The quickest route from zero to a trained link:
+//
+//	dut, _ := talon.NewDevice(talon.DeviceConfig{Name: "ap", Seed: 1})
+//	peer, _ := talon.NewDevice(talon.DeviceConfig{Name: "sta", Seed: 2})
+//	dut.Jailbreak()
+//	peer.Jailbreak()
+//	link := talon.NewLink(talon.ConferenceRoom(), dut, peer)
+//	patterns, _ := talon.MeasurePatterns(dut, peer, talon.DefaultPatternGrid(), 3)
+//	trainer, _ := talon.NewTrainer(link, patterns, 14, 42)
+//	res, _ := trainer.Train(dut, peer)
+//	fmt.Println("transmit on sector", res.Sector)
+package talon
+
+import (
+	"fmt"
+
+	"talon/internal/channel"
+	"talon/internal/core"
+	"talon/internal/dot11ad"
+	"talon/internal/geom"
+	"talon/internal/pattern"
+	"talon/internal/sector"
+	"talon/internal/stats"
+	"talon/internal/testbed"
+	"talon/internal/wil"
+)
+
+// Re-exported building blocks. The aliases expose the full method sets of
+// the internal implementations as public API.
+type (
+	// Device is a simulated Talon AD7200 router.
+	Device = wil.Device
+	// DeviceConfig configures a Device.
+	DeviceConfig = wil.Config
+	// Link couples two devices through a propagation environment.
+	Link = wil.Link
+	// Environment is a 60 GHz propagation scenario.
+	Environment = channel.Environment
+	// Pose places a device (position, yaw, tilt).
+	Pose = channel.Pose
+	// PatternSet holds measured per-sector radiation patterns.
+	PatternSet = pattern.Set
+	// Grid is an azimuth × elevation sampling grid in degrees.
+	Grid = geom.Grid
+	// Estimator runs compressive angle-of-arrival estimation.
+	Estimator = core.Estimator
+	// EstimatorOptions tunes the estimator.
+	EstimatorOptions = core.Options
+	// Probe is one probed sector's measurement (or miss).
+	Probe = core.Probe
+	// Selection is a compressive sector selection outcome.
+	Selection = core.Selection
+	// SectorID identifies an antenna sector (6-bit on-air ID).
+	SectorID = sector.ID
+	// MACAddr is an EUI-48 station address.
+	MACAddr = dot11ad.MACAddr
+	// SLSResult summarizes a mutual sector-level sweep.
+	SLSResult = wil.SLSResult
+)
+
+// NewDevice builds a simulated router. See wil.Config for the knobs; only
+// Name is required, Seed freezes the unit's hardware imperfections.
+func NewDevice(cfg DeviceConfig) (*Device, error) { return wil.NewDevice(cfg) }
+
+// NewLink couples a and b inside env with the calibrated default budget.
+func NewLink(env *Environment, a, b *Device) *Link { return wil.NewLink(env, a, b) }
+
+// AnechoicChamber returns a reflection-free environment.
+func AnechoicChamber() *Environment { return channel.AnechoicChamber() }
+
+// Lab returns the paper's lab environment (weak multipath).
+func Lab() *Environment { return channel.Lab() }
+
+// ConferenceRoom returns the paper's conference room (whiteboard
+// reflections, stronger multipath).
+func ConferenceRoom() *Environment { return channel.ConferenceRoom() }
+
+// DefaultPatternGrid returns a practical grid for the pattern campaign:
+// azimuth ±90° in 2° steps, elevation 0–32° in 4° steps (the paper's
+// spherical coverage at a resolution that keeps the campaign fast).
+func DefaultPatternGrid() *Grid {
+	g, err := geom.UniformGrid(-90, 90, 2, 0, 32, 4)
+	if err != nil {
+		panic(err) // static arguments
+	}
+	return g
+}
+
+// NewGrid builds a uniform measurement grid; steps are in degrees.
+func NewGrid(azMin, azMax, azStep, elMin, elMax, elStep float64) (*Grid, error) {
+	return geom.UniformGrid(azMin, azMax, azStep, elMin, elMax, elStep)
+}
+
+// MeasurePatterns runs the Section 4 anechoic-chamber campaign for dut:
+// dut rotates on the measurement head, probe observes from 3 m away, and
+// all 35 sector patterns are measured on grid, averaging repeats sweeps
+// per point. Both devices are repositioned by the campaign; dut must be
+// jailbroken so measurements are readable.
+func MeasurePatterns(dut, probe *Device, grid *Grid, repeats int) (*PatternSet, error) {
+	link := wil.NewLink(channel.AnechoicChamber(), dut, probe)
+	campaign := testbed.NewChamberCampaign(link, dut, probe, 1)
+	campaign.Repeats = repeats
+	return campaign.MeasureAllPatterns(grid)
+}
+
+// NewEstimator builds a CSS estimator over measured patterns.
+func NewEstimator(patterns *PatternSet, opts EstimatorOptions) (*Estimator, error) {
+	return core.NewEstimator(patterns, opts)
+}
+
+// TrainResult is the outcome of one compressive training round.
+type TrainResult struct {
+	// Selection is the CSS outcome for the transmitter's sector.
+	Selection Selection
+	// Sector is the chosen transmit sector (shorthand for
+	// Selection.Sector).
+	Sector SectorID
+	// Probed lists the sectors that were probed.
+	Probed []SectorID
+	// SLS carries the protocol-level result when the training ran the
+	// full sector-level sweep.
+	SLS *SLSResult
+}
+
+// Trainer performs compressive beamtraining over a link: it probes a
+// random M-of-N sector subset, estimates the departure angle against the
+// transmitter's measured patterns, selects the best sector and arms the
+// receiver's feedback override so the standard sweep handshake carries
+// the compressive choice.
+type Trainer struct {
+	link *Link
+	est  *Estimator
+	m    int
+	rng  *stats.RNG
+}
+
+// NewTrainer builds a trainer probing m sectors per round. patterns must
+// be the transmitter's measured pattern set.
+func NewTrainer(link *Link, patterns *PatternSet, m int, seed int64) (*Trainer, error) {
+	if link == nil {
+		return nil, fmt.Errorf("talon: trainer needs a link")
+	}
+	if m < 2 || m > len(sector.TalonTX()) {
+		return nil, fmt.Errorf("talon: probe count %d out of range [2, 34]", m)
+	}
+	est, err := core.NewEstimator(patterns, core.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &Trainer{link: link, est: est, m: m, rng: stats.NewRNG(seed)}, nil
+}
+
+// M returns the probe budget per round.
+func (t *Trainer) M() int { return t.m }
+
+// SetM changes the probe budget (e.g. under an adaptive controller).
+func (t *Trainer) SetM(m int) error {
+	if m < 2 || m > len(sector.TalonTX()) {
+		return fmt.Errorf("talon: probe count %d out of range [2, 34]", m)
+	}
+	t.m = m
+	return nil
+}
+
+// Estimator exposes the underlying CSS estimator.
+func (t *Trainer) Estimator() *Estimator { return t.est }
+
+// Train selects tx's transmit sector toward rx: it sweeps a random
+// M-sector subset from tx, reads rx's measurement dump, runs compressive
+// selection, and (when rx is jailbroken) arms rx's feedback override with
+// the choice so subsequent sweeps feed it back.
+func (t *Trainer) Train(tx, rx *Device) (*TrainResult, error) {
+	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
+	if err != nil {
+		return nil, err
+	}
+	meas, err := t.link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
+	if err != nil {
+		return nil, err
+	}
+	sel, err := t.est.SelectSector(core.ProbesFromMeasurements(probeSet.IDs(), meas))
+	if err != nil {
+		return nil, err
+	}
+	if rx.Firmware().OverrideEnabled() {
+		if err := rx.ForceSector(sel.Sector); err != nil {
+			return nil, err
+		}
+	}
+	return &TrainResult{Selection: sel, Sector: sel.Sector, Probed: probeSet.IDs()}, nil
+}
+
+// TrainMutual runs the full protocol exchange: both sides sweep the same
+// probing subset inside one sector-level sweep, with the compressive
+// choice injected into the feedback fields through the firmware override.
+func (t *Trainer) TrainMutual(initiator, responder *Device) (*TrainResult, error) {
+	res, err := t.Train(initiator, responder)
+	if err != nil {
+		return nil, err
+	}
+	slots := dot11ad.SubSweepSchedule(sector.NewSet(res.Probed...))
+	sls, err := t.link.RunSLS(initiator, responder, slots, slots)
+	if err != nil {
+		return nil, err
+	}
+	res.SLS = sls
+	return res, nil
+}
+
+// TalonTXSectors lists the 34 predefined transmit sectors.
+func TalonTXSectors() []SectorID { return sector.TalonTX() }
+
+// MutualTrainingTime returns the airtime of a mutual training with m
+// probes per side (Figure 10's model).
+func MutualTrainingTime(m int) float64 {
+	return dot11ad.MutualTrainingTime(m).Seconds()
+}
+
+// BackupSelection pairs a primary compressive selection with a backup
+// sector toward a secondary propagation path.
+type BackupSelection = core.BackupSelection
+
+// TrainWithBackup selects tx's transmit sector toward rx and, when the
+// correlation surface exposes a distinct secondary path (e.g. a wall
+// reflection), also returns a backup sector: if the primary path gets
+// blocked, switching to the backup keeps the link alive without a new
+// training round.
+func (t *Trainer) TrainWithBackup(tx, rx *Device) (*TrainResult, BackupSelection, error) {
+	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
+	if err != nil {
+		return nil, BackupSelection{}, err
+	}
+	meas, err := t.link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
+	if err != nil {
+		return nil, BackupSelection{}, err
+	}
+	backup, err := t.est.SelectWithBackup(core.ProbesFromMeasurements(probeSet.IDs(), meas), 18)
+	if err != nil {
+		return nil, BackupSelection{}, err
+	}
+	res := &TrainResult{Selection: backup.Primary, Sector: backup.Primary.Sector, Probed: probeSet.IDs()}
+	if rx.Firmware().OverrideEnabled() {
+		if err := rx.ForceSector(res.Sector); err != nil {
+			return nil, BackupSelection{}, err
+		}
+	}
+	return res, backup, nil
+}

@@ -1,0 +1,195 @@
+package talon_test
+
+import (
+	"math"
+	"testing"
+
+	"talon"
+)
+
+func buildPair(t testing.TB) (*talon.Device, *talon.Device) {
+	t.Helper()
+	dut, err := talon.NewDevice(talon.DeviceConfig{Name: "dut", Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peer, err := talon.NewDevice(talon.DeviceConfig{Name: "peer", Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dut.Jailbreak(); err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Jailbreak(); err != nil {
+		t.Fatal(err)
+	}
+	return dut, peer
+}
+
+func coarsePatternGrid(t testing.TB) *talon.Grid {
+	t.Helper()
+	g, err := talon.NewGrid(-80, 80, 4, 0, 24, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	dut, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if patterns.Len() != 35 {
+		t.Fatalf("patterns = %d", patterns.Len())
+	}
+
+	link := talon.NewLink(talon.ConferenceRoom(), dut, peer)
+	dutPose := talon.Pose{}
+	dutPose.Pos.Z = 1.2
+	peerPose := talon.Pose{Yaw: 180}
+	peerPose.Pos.X = 6
+	peerPose.Pos.Z = 1.2
+	dut.SetPose(dutPose)
+	peer.SetPose(peerPose)
+
+	trainer, err := talon.NewTrainer(link, patterns, 14, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trainer.Train(dut, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Probed) != 14 {
+		t.Fatalf("probed %d sectors", len(res.Probed))
+	}
+	// The choice must be a valid predefined TX sector with a usable link.
+	valid := false
+	for _, id := range talon.TalonTXSectors() {
+		if id == res.Sector {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("selected invalid sector %v", res.Sector)
+	}
+	if snr := link.TrueSNR(dut, peer, res.Sector); snr < -2 {
+		t.Fatalf("selected sector %v has true SNR %v", res.Sector, snr)
+	}
+	// The receiver-side override is armed with the selection.
+	fbSector, ok := peer.Firmware().FeedbackSector()
+	if !ok || fbSector != res.Sector {
+		t.Fatalf("feedback override = %v, %v", fbSector, ok)
+	}
+}
+
+func TestTrainMutual(t *testing.T) {
+	dut, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := talon.NewLink(talon.AnechoicChamber(), dut, peer)
+	dutPose, peerPose := talon.Pose{}, talon.Pose{Yaw: 180}
+	dutPose.Pos.Z, peerPose.Pos.Z = 1.2, 1.2
+	peerPose.Pos.X = 3
+	dut.SetPose(dutPose)
+	peer.SetPose(peerPose)
+
+	trainer, err := talon.NewTrainer(link, patterns, 14, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trainer.TrainMutual(dut, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLS == nil {
+		t.Fatal("no SLS result")
+	}
+	if res.SLS.FramesSent != 28 {
+		t.Fatalf("SLS frames = %d, want 2×14", res.SLS.FramesSent)
+	}
+	// The compressive choice travels inside the protocol feedback.
+	if res.SLS.InitiatorTXOK && res.SLS.InitiatorTX != res.Sector {
+		t.Fatalf("feedback carried %v, selection was %v", res.SLS.InitiatorTX, res.Sector)
+	}
+}
+
+func TestTrainerValidation(t *testing.T) {
+	dut, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := talon.NewLink(talon.AnechoicChamber(), dut, peer)
+	if _, err := talon.NewTrainer(nil, patterns, 14, 1); err == nil {
+		t.Error("nil link accepted")
+	}
+	if _, err := talon.NewTrainer(link, patterns, 1, 1); err == nil {
+		t.Error("m=1 accepted")
+	}
+	if _, err := talon.NewTrainer(link, patterns, 99, 1); err == nil {
+		t.Error("m=99 accepted")
+	}
+	tr, err := talon.NewTrainer(link, patterns, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetM(1); err == nil {
+		t.Error("SetM(1) accepted")
+	}
+	if err := tr.SetM(20); err != nil || tr.M() != 20 {
+		t.Errorf("SetM(20): %v, M=%d", err, tr.M())
+	}
+}
+
+func TestMutualTrainingTimeFacade(t *testing.T) {
+	full := talon.MutualTrainingTime(34)
+	css := talon.MutualTrainingTime(14)
+	if math.Abs(full-0.0012731) > 1e-9 {
+		t.Fatalf("full = %v s", full)
+	}
+	if sp := full / css; sp < 2.25 || sp > 2.35 {
+		t.Fatalf("speedup = %v", sp)
+	}
+}
+
+func TestEnvironmentsDistinct(t *testing.T) {
+	if talon.AnechoicChamber().Name == talon.Lab().Name {
+		t.Fatal("environment names collide")
+	}
+	if len(talon.ConferenceRoom().Reflectors) <= len(talon.AnechoicChamber().Reflectors) {
+		t.Fatal("conference room has no reflectors")
+	}
+}
+
+func TestTrainWithBackup(t *testing.T) {
+	dut, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := talon.NewLink(talon.ConferenceRoom(), dut, peer)
+	dutPose, peerPose := talon.Pose{}, talon.Pose{Yaw: 180}
+	dutPose.Pos.Z, peerPose.Pos.Z = 1.2, 1.2
+	peerPose.Pos.X = 6
+	dut.SetPose(dutPose)
+	peer.SetPose(peerPose)
+	trainer, err := talon.NewTrainer(link, patterns, 24, 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, backup, err := trainer.TrainWithBackup(dut, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sector != backup.Primary.Sector {
+		t.Fatal("result and primary disagree")
+	}
+	if backup.HasBackup && backup.Backup.Sector == backup.Primary.Sector {
+		t.Fatal("backup equals primary")
+	}
+}
