@@ -10,6 +10,7 @@ package talon_test
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -43,17 +44,17 @@ func benchSetup(b *testing.B) *benchRig {
 	b.Helper()
 	rigOnce.Do(func() {
 		f := eval.Quick()
-		p, err := eval.NewPlatform(42, f.PatternGrid, f.CampaignRepeats)
+		p, err := eval.NewPlatform(context.Background(), 42, f.PatternGrid, f.CampaignRepeats)
 		if err != nil {
 			rigErr = err
 			return
 		}
-		conf, err := p.Scan(channel.ConferenceRoom(), 6, f.Conference)
+		conf, err := p.Scan(context.Background(), channel.ConferenceRoom(), 6, f.Conference)
 		if err != nil {
 			rigErr = err
 			return
 		}
-		lab, err := p.Scan(channel.Lab(), 3, f.Lab)
+		lab, err := p.Scan(context.Background(), channel.Lab(), 3, f.Lab)
 		if err != nil {
 			rigErr = err
 			return
@@ -81,7 +82,7 @@ func BenchmarkTable1_BurstSchedules(b *testing.B) {
 // (coarsened grid; the paper's 0.9° steps scale linearly).
 func BenchmarkFigure5_AzimuthPatterns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.Figure5(int64(i)+1, 9, 1)
+		r, err := eval.Figure5(context.Background(), int64(i)+1, 9, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -95,7 +96,7 @@ func BenchmarkFigure5_AzimuthPatterns(b *testing.B) {
 // (coarsened grid).
 func BenchmarkFigure6_SphericalPatterns(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r, err := eval.Figure6(int64(i)+1, 12, 16, 1)
+		r, err := eval.Figure6(context.Background(), int64(i)+1, 12, 16, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFigure7_PathEstimationError(b *testing.B) {
 	rng := stats.NewRNG(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		te, err := eval.EvaluateTraces("lab", r.labTrcs, r.platform.Estimator, []int{10, 20}, 1, rng)
+		te, err := eval.EvaluateTraces(context.Background(), "lab", r.labTrcs, r.platform.Estimator, []int{10, 20}, 1, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkFigure8_SelectionStability(b *testing.B) {
 	rng := stats.NewRNG(2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		te, err := eval.EvaluateTraces("conference", r.traces, r.platform.Estimator, []int{14}, 2, rng)
+		te, err := eval.EvaluateTraces(context.Background(), "conference", r.traces, r.platform.Estimator, []int{14}, 2, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -145,7 +146,7 @@ func BenchmarkFigure9_SNRLoss(b *testing.B) {
 	rng := stats.NewRNG(3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		te, err := eval.EvaluateTraces("conference", r.traces, r.platform.Estimator, []int{6, 14, 34}, 1, rng)
+		te, err := eval.EvaluateTraces(context.Background(), "conference", r.traces, r.platform.Estimator, []int{6, 14, 34}, 1, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func BenchmarkFigure11_Throughput(b *testing.B) {
 	rng := stats.NewRNG(4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := eval.Figure11(r.platform, 14, 4, rng)
+		res, err := eval.Figure11(context.Background(), r.platform, 14, 4, rng)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func BenchmarkAblation_JointCorrelation(b *testing.B) {
 	rng := stats.NewRNG(5)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.AblationJointCorrelation(r.platform, r.traces, 14, 1, rng); err != nil {
+		if _, err := eval.AblationJointCorrelation(context.Background(), r.platform, r.traces, 14, 1, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -201,7 +202,7 @@ func BenchmarkAblation_MeasuredVsIdealPatterns(b *testing.B) {
 	rng := stats.NewRNG(6)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.AblationMeasuredVsIdeal(r.platform, r.traces, 14, 1, rng); err != nil {
+		if _, err := eval.AblationMeasuredVsIdeal(context.Background(), r.platform, r.traces, 14, 1, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -213,7 +214,7 @@ func BenchmarkAblation_ProbeSelection(b *testing.B) {
 	rng := stats.NewRNG(7)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.AblationProbeSelection(r.platform, r.traces, 14, 1, rng); err != nil {
+		if _, err := eval.AblationProbeSelection(context.Background(), r.platform, r.traces, 14, 1, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -264,6 +265,30 @@ func BenchmarkCore_SelectSector(b *testing.B) {
 		if _, err := r.platform.Estimator.SelectSector(probes); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkEval_TraceTrials times the bounded-parallel trial loop of
+// EvaluateTraces at the default worker count versus forced-serial
+// execution. Results are identical at any setting; only wall clock
+// differs (on multi-core hosts).
+func BenchmarkEval_TraceTrials(b *testing.B) {
+	r := benchSetup(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"default", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			eval.SetParallelism(bc.workers)
+			defer eval.SetParallelism(0)
+			rng := stats.NewRNG(12)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.EvaluateTraces(context.Background(), "conference", r.traces, r.platform.Estimator, []int{6, 14, 24}, 2, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -26,9 +26,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"talon/internal/channel"
@@ -40,11 +43,19 @@ var (
 	fidelity = flag.String("fidelity", "full", "experiment fidelity: quick or full")
 	seed     = flag.Int64("seed", 42, "experiment seed")
 	exp      = flag.String("exp", "all", "experiment to run")
+	workers  = flag.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	eval.SetParallelism(*workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "evalrunner: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)
 		os.Exit(1)
 	}
@@ -60,7 +71,7 @@ func pick() (eval.Fidelity, error) {
 	return eval.Fidelity{}, fmt.Errorf("unknown fidelity %q", *fidelity)
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	f, err := pick()
 	if err != nil {
 		return err
@@ -70,11 +81,11 @@ func run() error {
 		fmt.Print(eval.Table1().Format())
 		return nil
 	case "fig5":
-		return runFig5()
+		return runFig5(ctx)
 	case "fig6":
-		return runFig6()
+		return runFig6(ctx)
 	case "fig7", "fig8", "fig9", "headline":
-		study, err := runStudy(f)
+		study, err := runStudy(ctx, f)
 		if err != nil {
 			return err
 		}
@@ -93,25 +104,25 @@ func run() error {
 		fmt.Print(eval.Figure10().Format())
 		return nil
 	case "fig11":
-		study, err := runStudy(f)
+		study, err := runStudy(ctx, f)
 		if err != nil {
 			return err
 		}
-		return runFig11(study)
+		return runFig11(ctx, study)
 	case "ablations":
-		study, err := runStudy(f)
+		study, err := runStudy(ctx, f)
 		if err != nil {
 			return err
 		}
-		return runAblations(study, f)
+		return runAblations(ctx, study, f)
 	case "retraining":
-		study, err := runStudy(f)
+		study, err := runStudy(ctx, f)
 		if err != nil {
 			return err
 		}
 		return runRetraining(study)
 	case "blockage":
-		study, err := runStudy(f)
+		study, err := runStudy(ctx, f)
 		if err != nil {
 			return err
 		}
@@ -122,15 +133,15 @@ func run() error {
 	case "densify":
 		return runDensify()
 	case "all":
-		return runAll(f)
+		return runAll(ctx, f)
 	}
 	return fmt.Errorf("unknown experiment %q", *exp)
 }
 
-func runStudy(f eval.Fidelity) (*eval.EnvironmentStudy, error) {
-	fmt.Fprintf(os.Stderr, "running environment study (%s fidelity, seed %d)...\n", *fidelity, *seed)
+func runStudy(ctx context.Context, f eval.Fidelity) (*eval.EnvironmentStudy, error) {
+	fmt.Fprintf(os.Stderr, "running environment study (%s fidelity, seed %d, %d workers)...\n", *fidelity, *seed, eval.Parallelism())
 	start := time.Now()
-	study, err := eval.RunEnvironmentStudy(*seed, f)
+	study, err := eval.RunEnvironmentStudy(ctx, *seed, f)
 	if err != nil {
 		return nil, err
 	}
@@ -138,13 +149,13 @@ func runStudy(f eval.Fidelity) (*eval.EnvironmentStudy, error) {
 	return study, nil
 }
 
-func runFig5() error {
+func runFig5(ctx context.Context) error {
 	azStep := 0.9
 	repeats := 3
 	if *fidelity == "quick" {
 		azStep, repeats = 4.5, 1
 	}
-	r, err := eval.Figure5(*seed, azStep, repeats)
+	r, err := eval.Figure5(ctx, *seed, azStep, repeats)
 	if err != nil {
 		return err
 	}
@@ -154,13 +165,13 @@ func runFig5() error {
 	return nil
 }
 
-func runFig6() error {
+func runFig6(ctx context.Context) error {
 	azStep, elStep := 1.8, 3.6
 	repeats := 3
 	if *fidelity == "quick" {
 		azStep, elStep, repeats = 9, 10.8, 1
 	}
-	r, err := eval.Figure6(*seed, azStep, elStep, repeats)
+	r, err := eval.Figure6(ctx, *seed, azStep, elStep, repeats)
 	if err != nil {
 		return err
 	}
@@ -168,12 +179,12 @@ func runFig6() error {
 	return nil
 }
 
-func runFig11(study *eval.EnvironmentStudy) error {
+func runFig11(ctx context.Context, study *eval.EnvironmentStudy) error {
 	sweeps := 10
 	if *fidelity == "quick" {
 		sweeps = 4
 	}
-	r, err := eval.Figure11(study.Platform, 14, sweeps, stats.NewRNG(*seed).Split("fig11"))
+	r, err := eval.Figure11(ctx, study.Platform, 14, sweeps, stats.NewRNG(*seed).Split("fig11"))
 	if err != nil {
 		return err
 	}
@@ -181,24 +192,24 @@ func runFig11(study *eval.EnvironmentStudy) error {
 	return nil
 }
 
-func runAblations(study *eval.EnvironmentStudy, f eval.Fidelity) error {
+func runAblations(ctx context.Context, study *eval.EnvironmentStudy, f eval.Fidelity) error {
 	rng := stats.NewRNG(*seed).Split("ablations")
-	traces, err := study.Platform.Scan(channel.ConferenceRoom(), 6, f.Conference)
+	traces, err := study.Platform.Scan(ctx, channel.ConferenceRoom(), 6, f.Conference)
 	if err != nil {
 		return err
 	}
 	subsets := f.SubsetsPerSweep
-	if joint, err := eval.AblationJointCorrelation(study.Platform, traces, 14, subsets, rng); err == nil {
+	if joint, err := eval.AblationJointCorrelation(ctx, study.Platform, traces, 14, subsets, rng); err == nil {
 		fmt.Print(joint.Format())
 	} else {
 		return err
 	}
-	if ideal, err := eval.AblationMeasuredVsIdeal(study.Platform, traces, 14, subsets, rng); err == nil {
+	if ideal, err := eval.AblationMeasuredVsIdeal(ctx, study.Platform, traces, 14, subsets, rng); err == nil {
 		fmt.Print(ideal.Format())
 	} else {
 		return err
 	}
-	if sel, err := eval.AblationProbeSelection(study.Platform, traces, 14, subsets, rng); err == nil {
+	if sel, err := eval.AblationProbeSelection(ctx, study.Platform, traces, 14, subsets, rng); err == nil {
 		fmt.Print(sel.Format())
 	} else {
 		return err
@@ -220,18 +231,18 @@ func runAblations(study *eval.EnvironmentStudy, f eval.Fidelity) error {
 	return nil
 }
 
-func runAll(f eval.Fidelity) error {
+func runAll(ctx context.Context, f eval.Fidelity) error {
 	fmt.Print(eval.Table1().Format())
 	fmt.Println()
-	if err := runFig5(); err != nil {
+	if err := runFig5(ctx); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runFig6(); err != nil {
+	if err := runFig6(ctx); err != nil {
 		return err
 	}
 	fmt.Println()
-	study, err := runStudy(f)
+	study, err := runStudy(ctx, f)
 	if err != nil {
 		return err
 	}
@@ -243,13 +254,13 @@ func runAll(f eval.Fidelity) error {
 	fmt.Println()
 	fmt.Print(eval.Figure10().Format())
 	fmt.Println()
-	if err := runFig11(study); err != nil {
+	if err := runFig11(ctx, study); err != nil {
 		return err
 	}
 	fmt.Println()
 	fmt.Print(eval.ComputeHeadline(study).Format())
 	fmt.Println()
-	if err := runAblations(study, f); err != nil {
+	if err := runAblations(ctx, study, f); err != nil {
 		return err
 	}
 	fmt.Println()

@@ -13,9 +13,12 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -41,13 +44,19 @@ var (
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "patternscan: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "patternscan:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context) error {
 	grid, err := geom.UniformGrid(*azMin, *azMax, *azStep, *elMin, *elMax, *elStep)
 	if err != nil {
 		return err
@@ -80,7 +89,7 @@ func run() error {
 
 	fmt.Fprintf(os.Stderr, "measuring %d grid points x %d repeats x 35 sectors...\n", grid.Size(), *repeats)
 	start := time.Now()
-	set, err := campaign.MeasureAllPatterns(grid)
+	set, err := campaign.MeasureAllPatterns(ctx, grid)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -205,6 +206,11 @@ func cmdDump() error {
 	if err != nil {
 		return err
 	}
+	// On stock firmware the ring buffer is unreadable; show the typed
+	// rejection before jailbreaking.
+	if _, err := b.SweepDump(); errors.Is(err, wil.ErrNotJailbroken) {
+		fmt.Printf("stock firmware refuses the dump (%v); jailbreaking %s\n", err, b.Name())
+	}
 	if err := b.Jailbreak(); err != nil {
 		return err
 	}
@@ -236,6 +242,9 @@ func cmdForce() error {
 		return err
 	}
 	if err := b.ForceSector(id); err != nil {
+		if errors.Is(err, sector.ErrUnknown) {
+			return fmt.Errorf("firmware rejected sector %v: %w", id, err)
+		}
 		return err
 	}
 	slots := dot11ad.SweepSchedule()

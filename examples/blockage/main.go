@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	patterns, err := talon.MeasurePatterns(ap, sta, talon.DefaultPatternGrid(), 3)
+	ctx := context.Background()
+	patterns, err := talon.MeasurePatterns(ctx, ap, sta, talon.DefaultPatternGrid(), 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +52,7 @@ func main() {
 	sta.SetPose(staPose)
 
 	link := talon.NewLink(room, ap, sta)
-	trainer, err := talon.NewTrainer(link, patterns, 24, 4)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(24), talon.WithSeed(4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -60,7 +62,7 @@ func main() {
 	var res *talon.TrainResult
 	var backup talon.BackupSelection
 	for i := 0; i < 8; i++ {
-		res, backup, err = trainer.TrainWithBackup(ap, sta)
+		res, backup, err = trainer.TrainWithBackup(ctx, ap, sta)
 		if err != nil {
 			log.Fatal(err)
 		}

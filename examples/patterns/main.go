@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -36,7 +37,8 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("measuring azimuth-plane patterns (-90°..90°, elevation 0)...")
-	azSet, err := talon.MeasurePatterns(dut, probe, azGrid, 2)
+	ctx := context.Background()
+	azSet, err := talon.MeasurePatterns(ctx, dut, probe, azGrid, 2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\nmeasuring spherical patterns (elevation 0..32°)...")
-	set3D, err := talon.MeasurePatterns(dut, probe, grid3D, 2)
+	set3D, err := talon.MeasurePatterns(ctx, dut, probe, grid3D, 2)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,8 @@ func main() {
 
 	// One-time pattern campaign in the anechoic chamber (Section 4).
 	fmt.Println("measuring sector patterns in the chamber...")
-	patterns, err := talon.MeasurePatterns(dut, sta, talon.DefaultPatternGrid(), 3)
+	ctx := context.Background()
+	patterns, err := talon.MeasurePatterns(ctx, dut, sta, talon.DefaultPatternGrid(), 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,11 +52,11 @@ func main() {
 	sta.SetPose(staPose)
 
 	// Compressive training with 14 probing sectors.
-	trainer, err := talon.NewTrainer(link, patterns, 14, 7)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := trainer.TrainMutual(dut, sta)
+	res, err := trainer.TrainMutual(ctx, dut, sta)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -30,7 +31,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	patterns, err := talon.MeasurePatterns(ap, sta, talon.DefaultPatternGrid(), 3)
+	ctx := context.Background()
+	patterns, err := talon.MeasurePatterns(ctx, ap, sta, talon.DefaultPatternGrid(), 3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +42,7 @@ func main() {
 	apPose.Pos.Z = 1.2
 	ap.SetPose(apPose)
 
-	trainer, err := talon.NewTrainer(link, patterns, 34, 11)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(34), talon.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func main() {
 		if err := trainer.SetM(ctrl.M()); err != nil {
 			log.Fatal(err)
 		}
-		res, err := trainer.Train(ap, sta)
+		res, err := trainer.Train(ctx, ap, sta)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"talon/internal/pattern"
+	"talon/internal/sector"
+)
+
+// engine is the precomputed correlation engine behind EstimateAoA: a
+// flat, cache-friendly [gridPoint][sector] dictionary of linear pattern
+// amplitudes, built once per Estimator. The serial reference path calls
+// Pattern.At (two binary-search brackets plus a bilinear interpolation)
+// and math.Pow for every probed sector at every grid point of every
+// estimate; the engine pays that cost exactly once at construction, so
+// the grid search reduces to centered dot products over contiguous
+// slices. Grid rows (elevations) are sharded across a GOMAXPROCS-sized
+// worker pool, and per-call scratch (correlation surface, probe column
+// map) is recycled through sync.Pools.
+type engine struct {
+	az, el []float64
+	stride int        // dense dictionary columns per grid point
+	cols   [256]int16 // sector ID -> dense column, -1 when absent
+	// dict holds the linear amplitude of every sector at every grid
+	// point, laid out [(ei*numAz+ai)*stride + col]; NaN marks points the
+	// pattern does not cover. Values are amp(Pattern.At(az, el)) — the
+	// exact quantity the serial reference computes per call — so both
+	// paths agree bit for bit.
+	dict []float64
+
+	surfaces sync.Pool // *[]float64 of len numAz*numEl
+	colBufs  sync.Pool // *[]int16 probe->column scratch
+}
+
+// newEngine precomputes the dictionary from the pattern set. Returns nil
+// when the set is empty (the estimator then has nothing to search).
+func newEngine(set *pattern.Set) *engine {
+	grid := set.Grid()
+	if grid == nil {
+		return nil
+	}
+	ids := set.IDs()
+	en := &engine{
+		az:     grid.Az(),
+		el:     grid.El(),
+		stride: len(ids),
+	}
+	for i := range en.cols {
+		en.cols[i] = -1
+	}
+	for col, id := range ids {
+		en.cols[id] = int16(col)
+	}
+	numAz, numEl := len(en.az), len(en.el)
+	en.dict = make([]float64, numAz*numEl*en.stride)
+	for col, id := range ids {
+		p := set.Get(id)
+		for ei, el := range en.el {
+			base := ei * numAz * en.stride
+			for ai, az := range en.az {
+				g := p.At(az, el)
+				v := math.NaN()
+				if !math.IsNaN(g) {
+					v = amp(g)
+				}
+				en.dict[base+ai*en.stride+col] = v
+			}
+		}
+	}
+	size := numAz * numEl
+	en.surfaces.New = func() any {
+		s := make([]float64, size)
+		return &s
+	}
+	en.colBufs.New = func() any {
+		s := make([]int16, 0, 64)
+		return &s
+	}
+	return en
+}
+
+// getSurface returns a pooled numAz*numEl correlation surface. Contents
+// are stale; fill overwrites every entry, other users must zero it.
+func (en *engine) getSurface() *[]float64 { return en.surfaces.Get().(*[]float64) }
+
+func (en *engine) putSurface(s *[]float64) { en.surfaces.Put(s) }
+
+// probeCols maps probe sector IDs to dense dictionary columns (-1 for
+// sectors absent from the set, mirroring the serial path's nil-pattern
+// skip). The returned slice comes from a pool; release with putCols.
+func (en *engine) probeCols(ids []sector.ID) *[]int16 {
+	buf := en.colBufs.Get().(*[]int16)
+	cols := (*buf)[:0]
+	for _, id := range ids {
+		cols = append(cols, en.cols[id])
+	}
+	*buf = cols
+	return buf
+}
+
+func (en *engine) putCols(buf *[]int16) { en.colBufs.Put(buf) }
+
+// correlateAt is the engine twin of Estimator.correlate at one grid
+// point: identical accumulation order, fixed 64-component capacity,
+// missing-component skips and guards, but with the pattern lookup
+// replaced by a contiguous dictionary read.
+func (en *engine) correlateAt(base int, cols []int16, lin []float64) float64 {
+	var xs, ps [64]float64
+	used := 0
+	var sumP, sumX float64
+	for i, c := range cols {
+		if c < 0 {
+			continue
+		}
+		x := en.dict[base+int(c)]
+		if math.IsNaN(x) {
+			continue
+		}
+		if used >= len(xs) {
+			break
+		}
+		ps[used], xs[used] = lin[i], x
+		sumP += lin[i]
+		sumX += x
+		used++
+	}
+	if used < 3 {
+		return 0
+	}
+	meanP, meanX := sumP/float64(used), sumX/float64(used)
+	var dot, nm, nx float64
+	for i := 0; i < used; i++ {
+		dp, dx := ps[i]-meanP, xs[i]-meanX
+		dot += dp * dx
+		nm += dp * dp
+		nx += dx * dx
+	}
+	if nm == 0 || nx == 0 {
+		return 0
+	}
+	w := dot * dot / (nm * nx)
+	if dot < 0 {
+		return 0
+	}
+	return w
+}
+
+// fillRow computes one elevation row of the joint correlation surface.
+func (en *engine) fillRow(w []float64, ei int, cols []int16, snrLin, rssiLin []float64, snrOnly bool) {
+	numAz := len(en.az)
+	row := w[ei*numAz : (ei+1)*numAz]
+	base := ei * numAz * en.stride
+	for ai := range row {
+		pt := base + ai*en.stride
+		v := en.correlateAt(pt, cols, snrLin)
+		if v != 0 && !snrOnly {
+			// The serial path multiplies unconditionally; when the SNR
+			// correlation is exactly 0 the product is identically 0, so
+			// skipping the RSSI correlate is value-preserving.
+			v *= en.correlateAt(pt, cols, rssiLin)
+		}
+		row[ai] = v
+	}
+}
+
+// fill computes the whole surface, sharding elevation rows across a
+// worker pool sized to GOMAXPROCS. Rows are independent, so the result
+// is identical to the serial row order regardless of scheduling. Workers
+// observe ctx between rows; on cancellation the surface contents are
+// unspecified and ctx.Err() is returned.
+func (en *engine) fill(ctx context.Context, w []float64, cols []int16, snrLin, rssiLin []float64, snrOnly bool) error {
+	numEl := len(en.el)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > numEl {
+		workers = numEl
+	}
+	if workers <= 1 {
+		for ei := 0; ei < numEl; ei++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			en.fillRow(w, ei, cols, snrLin, rssiLin, snrOnly)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ei := int(next.Add(1)) - 1
+				if ei >= numEl || ctx.Err() != nil {
+					return
+				}
+				en.fillRow(w, ei, cols, snrLin, rssiLin, snrOnly)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// argmax scans the flat surface in the serial path's row-major order
+// (elevation outer, azimuth inner, strictly-greater update) so ties
+// break identically.
+func (en *engine) argmax(w []float64) (bestA, bestE int, bestW float64) {
+	numAz := len(en.az)
+	bestW = -1.0
+	for idx, v := range w {
+		if v > bestW {
+			bestA, bestE, bestW = idx%numAz, idx/numAz, v
+		}
+	}
+	return bestA, bestE, bestW
+}

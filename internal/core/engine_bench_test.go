@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"talon/internal/geom"
+	"talon/internal/pattern"
+	"talon/internal/radio"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// benchEstimator builds an estimator over the default pattern-campaign
+// grid (-90..90 step 2 × 0..32 step 4 — 819 grid points, the resolution
+// the evaluation figures run at) with synthetic gaussian-beam patterns.
+func benchEstimator(b *testing.B, opts Options) (*Estimator, []Probe) {
+	b.Helper()
+	grid, err := geom.UniformGrid(-90, 90, 2, 0, 32, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := sector.TalonTX()
+	set := pattern.NewSet()
+	for i, id := range ids {
+		az0 := -85 + 170*float64(i)/float64(len(ids)-1)
+		el0 := float64((i * 5) % 28)
+		width := 13 + float64(i%4)*3
+		p := pattern.FromFunc(grid, func(az, el float64) float64 {
+			d2 := (az-az0)*(az-az0) + 2*(el-el0)*(el-el0)
+			return 12 - 20*(1-math.Exp(-d2/(2*width*width)))
+		})
+		if err := set.Put(id, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	est, err := NewEstimator(set, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := stats.NewRNG(42)
+	ps, err := RandomProbes(rng, ids, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := make([]Probe, 0, 14)
+	for _, id := range ps.IDs() {
+		probes = append(probes, Probe{
+			Sector: id,
+			Meas: radio.Measurement{
+				SNR:  2 + float64(int(id)%13),
+				RSSI: -70 + float64(int(id)%9),
+			},
+			OK: true,
+		})
+	}
+	return est, probes
+}
+
+// BenchmarkEstimateAoA_Engine times the precomputed-dictionary grid
+// search; BenchmarkEstimateAoA_Serial times the reference per-call
+// Pattern.At path it replaced. The acceptance target is engine ≥ 3×
+// faster on this grid.
+func BenchmarkEstimateAoA_Engine(b *testing.B) {
+	est, probes := benchEstimator(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateAoA(probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateAoA_Serial(b *testing.B) {
+	est, probes := benchEstimator(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateAoASerial(probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectSector_Engine(b *testing.B) {
+	est, probes := benchEstimator(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SelectSector(probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectSector_Serial(b *testing.B) {
+	est, probes := benchEstimator(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SelectSectorSerial(probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateMultipath_Engine(b *testing.B) {
+	est, probes := benchEstimator(b, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateMultipath(probes, 2, 15, 0.3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

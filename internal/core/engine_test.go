@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"talon/internal/geom"
+	"talon/internal/pattern"
+	"talon/internal/radio"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// sameAoA reports whether the engine and serial estimates agree to within
+// the equivalence tolerance. The two paths perform the identical floating-
+// point operations in the identical order, so they should in fact be
+// bitwise equal; the 1e-12 slack only guards the comparison itself.
+func sameAoA(a, b AoAEstimate) bool {
+	const tol = 1e-12
+	return math.Abs(a.Az-b.Az) <= tol &&
+		math.Abs(a.El-b.El) <= tol &&
+		math.Abs(a.Corr-b.Corr) <= tol &&
+		a.Used == b.Used
+}
+
+func sameSelection(a, b Selection) bool {
+	if a.Sector != b.Sector || a.Fallback != b.Fallback || !sameAoA(a.AoA, b.AoA) {
+		return false
+	}
+	if math.IsNaN(a.Gain) || math.IsNaN(b.Gain) {
+		return math.IsNaN(a.Gain) && math.IsNaN(b.Gain)
+	}
+	return math.Abs(a.Gain-b.Gain) <= 1e-12
+}
+
+// TestEngineMatchesSerial is the tentpole equivalence proof: across
+// option variants, probe counts and noisy observations (including missed
+// probes from the defect model), the precomputed-dictionary engine and the
+// reference serial grid search produce identical estimates and
+// selections.
+func TestEngineMatchesSerial(t *testing.T) {
+	set, gain := synthSetup(t)
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"snr-only", Options{SNROnly: true}},
+		{"no-refine", Options{NoRefine: true}},
+		{"no-impute", Options{NoImputeMissing: true}},
+		{"snr-only-no-refine", Options{SNROnly: true, NoRefine: true}},
+	}
+	model := radio.DefaultMeasurementModel()
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			est, err := NewEstimator(set, v.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := stats.NewRNG(17)
+			available := sector.TalonTX()
+			for _, m := range []int{4, 8, 14, 34} {
+				for trial := 0; trial < 25; trial++ {
+					ps, err := RandomProbes(rng, available, m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					az := -78 + 156*rng.Float64()
+					el := 28 * rng.Float64()
+					probes := observe(t, gain, ps.IDs(), az, el, model, rng)
+
+					gotAoA, gotErr := est.EstimateAoA(probes)
+					refAoA, refErr := est.EstimateAoASerial(probes)
+					if (gotErr == nil) != (refErr == nil) {
+						t.Fatalf("m=%d trial=%d: engine err %v, serial err %v", m, trial, gotErr, refErr)
+					}
+					if gotErr != nil {
+						if !errors.Is(gotErr, ErrTooFewProbes) && !errors.Is(gotErr, ErrDegenerateSurface) {
+							t.Fatalf("m=%d trial=%d: untyped engine error %v", m, trial, gotErr)
+						}
+						if errors.Is(gotErr, ErrTooFewProbes) != errors.Is(refErr, ErrTooFewProbes) {
+							t.Fatalf("m=%d trial=%d: sentinel mismatch: %v vs %v", m, trial, gotErr, refErr)
+						}
+					} else if !sameAoA(gotAoA, refAoA) {
+						t.Fatalf("m=%d trial=%d: engine %+v != serial %+v", m, trial, gotAoA, refAoA)
+					}
+
+					gotSel, gotErr := est.SelectSector(probes)
+					refSel, refErr := est.SelectSectorSerial(probes)
+					if (gotErr == nil) != (refErr == nil) {
+						t.Fatalf("m=%d trial=%d: select engine err %v, serial err %v", m, trial, gotErr, refErr)
+					}
+					if gotErr == nil && !sameSelection(gotSel, refSel) {
+						t.Fatalf("m=%d trial=%d: select engine %+v != serial %+v", m, trial, gotSel, refSel)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineMatchesSerialWithHoles checks the equivalence on patterns with
+// NaN holes, exercising the dictionary's masked entries and the
+// nearest-valid corner substitution baked in at build time.
+func TestEngineMatchesSerialWithHoles(t *testing.T) {
+	grid, err := geom.UniformGrid(-60, 60, 4, 0, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := pattern.NewSet()
+	for i := 1; i <= 10; i++ {
+		id := sector.ID(i)
+		center := -55 + float64(i)*11
+		p := pattern.FromFunc(grid, func(az, el float64) float64 {
+			return 11 - (az-center)*(az-center)/60 - el/4
+		})
+		// Punch holes, including a full missing elevation row for one
+		// sector.
+		p.Set(i, 0, math.NaN())
+		p.Set(i+5, 1, math.NaN())
+		p.Set(2*i, 2, math.NaN())
+		if i == 4 {
+			for a := 0; a < grid.NumAz(); a++ {
+				p.Set(a, 3, math.NaN())
+			}
+		}
+		if err := set.Put(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(3)
+	ids := make([]sector.ID, 0, 10)
+	for i := 1; i <= 10; i++ {
+		ids = append(ids, sector.ID(i))
+	}
+	for trial := 0; trial < 50; trial++ {
+		probes := make([]Probe, 0, len(ids))
+		for _, id := range ids {
+			// Random readings with occasional missing reports.
+			probes = append(probes, Probe{
+				Sector: id,
+				Meas:   radio.Measurement{SNR: -5 + 20*rng.Float64(), RSSI: -75 + 20*rng.Float64()},
+				OK:     rng.Float64() > 0.3,
+			})
+		}
+		gotAoA, gotErr := est.EstimateAoA(probes)
+		refAoA, refErr := est.EstimateAoASerial(probes)
+		if (gotErr == nil) != (refErr == nil) {
+			t.Fatalf("trial=%d: engine err %v, serial err %v", trial, gotErr, refErr)
+		}
+		if gotErr == nil && !sameAoA(gotAoA, refAoA) {
+			t.Fatalf("trial=%d: engine %+v != serial %+v", trial, gotAoA, refAoA)
+		}
+	}
+}
+
+// TestEngineErrorParity checks that engine and serial paths fail with the
+// same typed sentinels.
+func TestEngineErrorParity(t *testing.T) {
+	set, _ := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tooFew := []Probe{{Sector: 1, Meas: radio.Measurement{SNR: 5, RSSI: -60}, OK: true}}
+	_, engineErr := est.EstimateAoA(tooFew)
+	_, serialErr := est.EstimateAoASerial(tooFew)
+	if !errors.Is(engineErr, ErrTooFewProbes) {
+		t.Fatalf("engine: want ErrTooFewProbes, got %v", engineErr)
+	}
+	if !errors.Is(serialErr, ErrTooFewProbes) {
+		t.Fatalf("serial: want ErrTooFewProbes, got %v", serialErr)
+	}
+}
+
+// TestEstimateCancellation checks that a cancelled context aborts the
+// grid search with context.Canceled rather than a degraded result or a
+// fallback selection.
+func TestEstimateCancellation(t *testing.T) {
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(9)
+	probes := observe(t, gain, sector.TalonTX(), 20, 6, quietModel(), rng)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := est.EstimateAoAContext(ctx, probes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateAoAContext: want context.Canceled, got %v", err)
+	}
+	if _, err := est.SelectSectorContext(ctx, probes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectSectorContext: want context.Canceled, got %v", err)
+	}
+	if _, err := est.EstimateMultipathContext(ctx, probes, 2, 15, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateMultipathContext: want context.Canceled, got %v", err)
+	}
+	if _, err := est.SelectWithBackupContext(ctx, probes, 15); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectWithBackupContext: want context.Canceled, got %v", err)
+	}
+
+	// A live context must not be affected.
+	if _, err := est.EstimateAoAContext(context.Background(), probes); err != nil {
+		t.Fatalf("live context: %v", err)
+	}
+}
+
+// TestEngineConcurrentUse runs many concurrent estimates through one
+// estimator to exercise the scratch pools under the race detector.
+func TestEngineConcurrentUse(t *testing.T) {
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		aoa AoAEstimate
+		err error
+	}
+	rng := stats.NewRNG(11)
+	probeSets := make([][]Probe, 16)
+	want := make([]result, len(probeSets))
+	for i := range probeSets {
+		az := -70 + 140*rng.Float64()
+		probeSets[i] = observe(t, gain, sector.TalonTX(), az, 5, quietModel(), rng)
+		aoa, err := est.EstimateAoASerial(probeSets[i])
+		want[i] = result{aoa, err}
+	}
+	got := make([]result, len(probeSets))
+	done := make(chan int, len(probeSets))
+	for i := range probeSets {
+		go func(i int) {
+			aoa, err := est.EstimateAoA(probeSets[i])
+			got[i] = result{aoa, err}
+			done <- i
+		}(i)
+	}
+	for range probeSets {
+		<-done
+	}
+	for i := range probeSets {
+		if (got[i].err == nil) != (want[i].err == nil) {
+			t.Fatalf("probe set %d: err %v vs %v", i, got[i].err, want[i].err)
+		}
+		if got[i].err == nil && !sameAoA(got[i].aoa, want[i].aoa) {
+			t.Fatalf("probe set %d: %+v != %+v", i, got[i].aoa, want[i].aoa)
+		}
+	}
+}

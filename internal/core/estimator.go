@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -18,6 +19,17 @@ import (
 	"talon/internal/pattern"
 	"talon/internal/radio"
 	"talon/internal/sector"
+)
+
+// Sentinel errors of the estimation pipeline. Callers match them with
+// errors.Is; the root talon package re-exports them.
+var (
+	// ErrTooFewProbes reports a probe vector with fewer than two usable
+	// measurements — below that no correlation is defined.
+	ErrTooFewProbes = errors.New("too few probes")
+	// ErrDegenerateSurface reports a correlation surface with no positive
+	// maximum: the measurements carry no directional information.
+	ErrDegenerateSurface = errors.New("correlation surface is degenerate")
 )
 
 // Probe is the outcome of probing one sector: the firmware's measurement,
@@ -84,15 +96,19 @@ func (o Options) fallbackCorr() float64 {
 type Estimator struct {
 	patterns *pattern.Set
 	opts     Options
+	// en is the precomputed correlation engine (see engine.go), built
+	// once at construction from a snapshot of the pattern set.
+	en *engine
 }
 
-// NewEstimator builds an estimator over the measured patterns. The set
-// must contain at least two transmit sectors.
+// NewEstimator builds an estimator over the measured patterns and
+// precomputes its correlation dictionary. The set must contain at least
+// two transmit sectors and must not be mutated afterwards.
 func NewEstimator(patterns *pattern.Set, opts Options) (*Estimator, error) {
 	if patterns == nil || len(patterns.TXIDs()) < 2 {
 		return nil, errors.New("core: estimator needs a pattern set with at least 2 TX sectors")
 	}
-	return &Estimator{patterns: patterns, opts: opts}, nil
+	return &Estimator{patterns: patterns, opts: opts, en: newEngine(patterns)}, nil
 }
 
 // Patterns returns the pattern set the estimator searches.
@@ -216,11 +232,57 @@ func (e *Estimator) Correlation(probes []Probe, az, el float64) float64 {
 }
 
 // EstimateAoA maximizes the correlation over the pattern grid (Eq. 3),
-// optionally refining the maximum between grid points.
+// optionally refining the maximum between grid points. The search runs on
+// the precomputed correlation engine; EstimateAoASerial is the retained
+// reference implementation, and the two agree bit for bit.
 func (e *Estimator) EstimateAoA(probes []Probe) (AoAEstimate, error) {
+	return e.EstimateAoAContext(context.Background(), probes)
+}
+
+// EstimateAoAContext is EstimateAoA with cancellation: ctx is observed
+// between grid rows, and a cancelled search returns ctx.Err().
+func (e *Estimator) EstimateAoAContext(ctx context.Context, probes []Probe) (AoAEstimate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
 	if reported < 2 {
-		return AoAEstimate{}, fmt.Errorf("core: need at least 2 reported probes, have %d", reported)
+		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
+	}
+	en := e.en
+	if en == nil {
+		return AoAEstimate{}, errors.New("core: empty pattern set")
+	}
+	surf := en.getSurface()
+	defer en.putSurface(surf)
+	colBuf := en.probeCols(ids)
+	defer en.putCols(colBuf)
+	w := *surf
+	if err := en.fill(ctx, w, *colBuf, snrLin, rssiLin, e.opts.SNROnly); err != nil {
+		return AoAEstimate{}, err
+	}
+	bestA, bestE, bestW := en.argmax(w)
+	if bestW <= 0 {
+		return AoAEstimate{}, fmt.Errorf("core: %w", ErrDegenerateSurface)
+	}
+	numAz := len(en.az)
+	az, el := en.az[bestA], en.el[bestE]
+	if !e.opts.NoRefine {
+		az = refineAxis(en.az, bestA, func(i int) float64 { return w[bestE*numAz+i] })
+		el = refineAxis(en.el, bestE, func(i int) float64 { return w[i*numAz+bestA] })
+	}
+	return AoAEstimate{Az: az, El: el, Corr: bestW, Used: reported}, nil
+}
+
+// EstimateAoASerial is the straight-line reference implementation of the
+// grid search: per-point Pattern.At interpolation and amplitude
+// conversion, no precomputation, no concurrency. It is kept so the
+// equivalence test (and anyone auditing the engine) can check the
+// optimized path against first principles.
+func (e *Estimator) EstimateAoASerial(probes []Probe) (AoAEstimate, error) {
+	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
+	if reported < 2 {
+		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
 	}
 	anyPattern := e.patterns.Get(ids[0])
 	if anyPattern == nil {
@@ -255,7 +317,7 @@ func (e *Estimator) EstimateAoA(probes []Probe) (AoAEstimate, error) {
 		w[ei] = row
 	}
 	if bestW <= 0 {
-		return AoAEstimate{}, errors.New("core: correlation surface is degenerate")
+		return AoAEstimate{}, fmt.Errorf("core: %w", ErrDegenerateSurface)
 	}
 
 	az, el := azAxis[bestA], elAxis[bestE]
@@ -310,14 +372,35 @@ type Selection struct {
 // is possible at all — the selection falls back to the classic argmax
 // over the probed sectors.
 func (e *Estimator) SelectSector(probes []Probe) (Selection, error) {
-	aoa, err := e.EstimateAoA(probes)
+	return e.SelectSectorContext(context.Background(), probes)
+}
+
+// SelectSectorContext is SelectSector with cancellation. A cancelled
+// context propagates ctx.Err() instead of degrading to the sweep
+// fallback.
+func (e *Estimator) SelectSectorContext(ctx context.Context, probes []Probe) (Selection, error) {
+	aoa, err := e.EstimateAoAContext(ctx, probes)
+	if err != nil && isCtxErr(err) {
+		return Selection{}, err
+	}
+	return e.finishSelection(probes, aoa, err)
+}
+
+// SelectSectorSerial runs the pipeline on the serial reference estimator;
+// the equivalence test checks it against SelectSector.
+func (e *Estimator) SelectSectorSerial(probes []Probe) (Selection, error) {
+	aoa, err := e.EstimateAoASerial(probes)
+	return e.finishSelection(probes, aoa, err)
+}
+
+func (e *Estimator) finishSelection(probes []Probe, aoa AoAEstimate, err error) (Selection, error) {
 	if err != nil || aoa.Corr < e.opts.fallbackCorr() {
 		id, ok := SweepSelect(probes)
 		if !ok {
 			if err != nil {
 				return Selection{}, err
 			}
-			return Selection{}, errors.New("core: no probe reported a measurement")
+			return Selection{}, fmt.Errorf("core: %w: no probe reported a measurement", ErrTooFewProbes)
 		}
 		return Selection{Sector: id, Gain: math.NaN(), AoA: aoa, Fallback: true}, nil
 	}
@@ -326,4 +409,9 @@ func (e *Estimator) SelectSector(probes []Probe) (Selection, error) {
 		return Selection{}, errors.New("core: pattern set has no usable TX sector")
 	}
 	return Selection{Sector: id, Gain: gain, AoA: aoa}, nil
+}
+
+// isCtxErr reports whether err is a context cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -16,6 +17,15 @@ import (
 // an already-accepted peak, and drops peaks below relThresh times the
 // main peak's correlation.
 func (e *Estimator) EstimateMultipath(probes []Probe, k int, minSepDeg, relThresh float64) ([]AoAEstimate, error) {
+	return e.EstimateMultipathContext(context.Background(), probes, k, minSepDeg, relThresh)
+}
+
+// EstimateMultipathContext is EstimateMultipath with cancellation; ctx is
+// observed between grid rows of every cancellation round.
+func (e *Estimator) EstimateMultipathContext(ctx context.Context, probes []Probe, k int, minSepDeg, relThresh float64) ([]AoAEstimate, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: multipath peak count %d must be positive", k)
 	}
@@ -27,13 +37,22 @@ func (e *Estimator) EstimateMultipath(probes []Probe, k int, minSepDeg, relThres
 	}
 	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
 	if reported < 2 {
-		return nil, fmt.Errorf("core: need at least 2 reported probes, have %d", reported)
+		return nil, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
 	}
 	grid, err := e.searchGrid(ids)
 	if err != nil {
 		return nil, err
 	}
 	azAxis, elAxis := grid.Az(), grid.El()
+	// The engine dictionary replaces per-point Pattern.At lookups inside
+	// the cancellation rounds; the vectors it correlates change per round,
+	// the dictionary does not.
+	var cols []int16
+	if e.en != nil {
+		colBuf := e.en.probeCols(ids)
+		defer e.en.putCols(colBuf)
+		cols = *colBuf
+	}
 
 	// Successive interference cancellation: after each detected path the
 	// path's power contribution is subtracted from the measurement
@@ -52,14 +71,26 @@ func (e *Estimator) EstimateMultipath(probes []Probe, k int, minSepDeg, relThres
 		var w [][]float64
 		w = make([][]float64, len(elAxis))
 		for ei, el := range elAxis {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			row := make([]float64, len(azAxis))
 			for ai, az := range azAxis {
 				if suppressed[ei][ai] {
 					continue
 				}
-				v := e.correlate(ids, snr, az, el)
-				if !e.opts.SNROnly {
-					v *= e.correlate(ids, rssi, az, el)
+				var v float64
+				if cols != nil {
+					pt := (ei*len(azAxis) + ai) * e.en.stride
+					v = e.en.correlateAt(pt, cols, snr)
+					if v != 0 && !e.opts.SNROnly {
+						v *= e.en.correlateAt(pt, cols, rssi)
+					}
+				} else {
+					v = e.correlate(ids, snr, az, el)
+					if !e.opts.SNROnly {
+						v *= e.correlate(ids, rssi, az, el)
+					}
 				}
 				row[ai] = v
 				if v > bestW {
@@ -95,7 +126,7 @@ func (e *Estimator) EstimateMultipath(probes []Probe, k int, minSepDeg, relThres
 		}
 	}
 	if len(peaks) == 0 {
-		return nil, errors.New("core: correlation surface is degenerate")
+		return nil, fmt.Errorf("core: %w", ErrDegenerateSurface)
 	}
 	return peaks, nil
 }
@@ -177,10 +208,20 @@ type BackupSelection struct {
 // surface exposes a distinct secondary path, also returns the best sector
 // toward it (guaranteed different from the primary sector).
 func (e *Estimator) SelectWithBackup(probes []Probe, minSepDeg float64) (BackupSelection, error) {
-	peaks, err := e.EstimateMultipath(probes, 3, minSepDeg, 0.1)
+	return e.SelectWithBackupContext(context.Background(), probes, minSepDeg)
+}
+
+// SelectWithBackupContext is SelectWithBackup with cancellation. A
+// cancelled context propagates ctx.Err() instead of degrading to the
+// single-sector fallback.
+func (e *Estimator) SelectWithBackupContext(ctx context.Context, probes []Probe, minSepDeg float64) (BackupSelection, error) {
+	peaks, err := e.EstimateMultipathContext(ctx, probes, 3, minSepDeg, 0.1)
 	if err != nil {
+		if isCtxErr(err) {
+			return BackupSelection{}, err
+		}
 		// Degenerate surface: fall back like SelectSector does.
-		sel, serr := e.SelectSector(probes)
+		sel, serr := e.SelectSectorContext(ctx, probes)
 		if serr != nil {
 			return BackupSelection{}, serr
 		}

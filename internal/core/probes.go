@@ -14,7 +14,7 @@ import (
 // m is out of range.
 func RandomProbes(rng *stats.RNG, available []sector.ID, m int) (*sector.Set, error) {
 	if m < 2 || m > len(available) {
-		return nil, fmt.Errorf("core: probe count %d out of range [2, %d]", m, len(available))
+		return nil, fmt.Errorf("core: %w: probe count %d out of range [2, %d]", ErrTooFewProbes, m, len(available))
 	}
 	idx := rng.Sample(len(available), m)
 	sort.Ints(idx) // keep stock sweep order
@@ -32,7 +32,7 @@ func RandomProbes(rng *stats.RNG, available []sector.ID, m int) (*sector.Set, er
 func GainInformedProbes(patterns *pattern.Set, m int) (*sector.Set, error) {
 	tx := patterns.TXIDs()
 	if m < 2 || m > len(tx) {
-		return nil, fmt.Errorf("core: probe count %d out of range [2, %d]", m, len(tx))
+		return nil, fmt.Errorf("core: %w: probe count %d out of range [2, %d]", ErrTooFewProbes, m, len(tx))
 	}
 	type cand struct {
 		id           sector.ID

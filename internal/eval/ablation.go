@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -42,16 +43,16 @@ func (a *AblationResult) Format() string {
 // AblationJointCorrelation quantifies the Section 5 design choice: the
 // joint SNR·RSSI correlation (Eq. 5) against SNR-only correlation
 // (Eq. 3), on the same traces at probing count m.
-func AblationJointCorrelation(p *Platform, traces []testbed.Trace, m, subsets int, rng *stats.RNG) (*AblationResult, error) {
+func AblationJointCorrelation(ctx context.Context, p *Platform, traces []testbed.Trace, m, subsets int, rng *stats.RNG) (*AblationResult, error) {
 	snrOnly, err := core.NewEstimator(p.Patterns, core.Options{SNROnly: true})
 	if err != nil {
 		return nil, err
 	}
-	joint, err := EvaluateTraces("joint", traces, p.Estimator, []int{m}, subsets, rng.Split("joint"))
+	joint, err := EvaluateTraces(ctx, "joint", traces, p.Estimator, []int{m}, subsets, rng.Split("joint"))
 	if err != nil {
 		return nil, err
 	}
-	snr, err := EvaluateTraces("snr-only", traces, snrOnly, []int{m}, subsets, rng.Split("snr-only"))
+	snr, err := EvaluateTraces(ctx, "snr-only", traces, snrOnly, []int{m}, subsets, rng.Split("snr-only"))
 	if err != nil {
 		return nil, err
 	}
@@ -74,16 +75,16 @@ func AblationJointCorrelation(p *Platform, traces []testbed.Trace, m, subsets in
 // azimuths — missing the real sectors' multi-lobe shapes, partial
 // apertures, elevation steering, weak sectors and per-device hardware
 // distortions.
-func AblationMeasuredVsIdeal(p *Platform, traces []testbed.Trace, m, subsets int, rng *stats.RNG) (*AblationResult, error) {
+func AblationMeasuredVsIdeal(ctx context.Context, p *Platform, traces []testbed.Trace, m, subsets int, rng *stats.RNG) (*AblationResult, error) {
 	ideal, err := idealEstimator(p)
 	if err != nil {
 		return nil, err
 	}
-	measured, err := EvaluateTraces("measured", traces, p.Estimator, []int{m}, subsets, rng.Split("measured"))
+	measured, err := EvaluateTraces(ctx, "measured", traces, p.Estimator, []int{m}, subsets, rng.Split("measured"))
 	if err != nil {
 		return nil, err
 	}
-	theo, err := EvaluateTraces("ideal", traces, ideal, []int{m}, subsets, rng.Split("ideal"))
+	theo, err := EvaluateTraces(ctx, "ideal", traces, ideal, []int{m}, subsets, rng.Split("ideal"))
 	if err != nil {
 		return nil, err
 	}
@@ -131,8 +132,8 @@ func gridOf(set *pattern.Set) *geom.Grid {
 
 // AblationProbeSelection compares random probing subsets against the
 // deterministic gain-informed selection of Section 7 at probing count m.
-func AblationProbeSelection(p *Platform, traces []testbed.Trace, m, subsets int, rng *stats.RNG) (*AblationResult, error) {
-	random, err := EvaluateTraces("random", traces, p.Estimator, []int{m}, subsets, rng.Split("random"))
+func AblationProbeSelection(ctx context.Context, p *Platform, traces []testbed.Trace, m, subsets int, rng *stats.RNG) (*AblationResult, error) {
+	random, err := EvaluateTraces(ctx, "random", traces, p.Estimator, []int{m}, subsets, rng.Split("random"))
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -20,7 +21,7 @@ func quickStudy(t *testing.T) *EnvironmentStudy {
 	if cachedStudy != nil {
 		return cachedStudy
 	}
-	s, err := RunEnvironmentStudy(42, Quick())
+	s, err := RunEnvironmentStudy(context.Background(), 42, Quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestTable1(t *testing.T) {
 }
 
 func TestFigure5Smoke(t *testing.T) {
-	r, err := Figure5(7, 6, 1) // 6° steps for speed
+	r, err := Figure5(context.Background(), 7, 6, 1) // 6° steps for speed
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFigure5Smoke(t *testing.T) {
 }
 
 func TestFigure6Smoke(t *testing.T) {
-	r, err := Figure6(7, 10, 16, 1) // coarse
+	r, err := Figure6(context.Background(), 7, 10, 16, 1) // coarse
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestFigure10(t *testing.T) {
 
 func TestFigure11(t *testing.T) {
 	s := quickStudy(t)
-	r, err := Figure11(s.Platform, 14, 6, stats.NewRNG(5))
+	r, err := Figure11(context.Background(), s.Platform, 14, 6, stats.NewRNG(5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,20 +197,20 @@ func TestFigure11(t *testing.T) {
 
 func TestEvaluateTracesValidation(t *testing.T) {
 	s := quickStudy(t)
-	if _, err := EvaluateTraces("empty", nil, s.Platform.Estimator, []int{6}, 1, stats.NewRNG(1)); err == nil {
+	if _, err := EvaluateTraces(context.Background(), "empty", nil, s.Platform.Estimator, []int{6}, 1, stats.NewRNG(1)); err == nil {
 		t.Fatal("empty traces accepted")
 	}
 }
 
 func TestAblations(t *testing.T) {
 	s := quickStudy(t)
-	traces, err := s.Platform.Scan(channel.ConferenceRoom(), 6, Quick().Conference)
+	traces, err := s.Platform.Scan(context.Background(), channel.ConferenceRoom(), 6, Quick().Conference)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rng := stats.NewRNG(11)
 
-	joint, err := AblationJointCorrelation(s.Platform, traces, 14, 2, rng)
+	joint, err := AblationJointCorrelation(context.Background(), s.Platform, traces, 14, 2, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +218,7 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("joint rows = %d", len(joint.Rows))
 	}
 
-	ideal, err := AblationMeasuredVsIdeal(s.Platform, traces, 14, 2, rng)
+	ideal, err := AblationMeasuredVsIdeal(context.Background(), s.Platform, traces, 14, 2, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("ideal ablation malformed: %+v", ideal)
 	}
 
-	probeSel, err := AblationProbeSelection(s.Platform, traces, 14, 2, rng)
+	probeSel, err := AblationProbeSelection(context.Background(), s.Platform, traces, 14, 2, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

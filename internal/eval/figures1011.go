@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -88,7 +89,7 @@ type Figure11Result struct {
 // sectors over repeated sweeps; the expected throughput averages the
 // SNR→rate mapping over the selections, accounting for each algorithm's
 // training airtime.
-func Figure11(p *Platform, m int, sweeps int, rng *stats.RNG) (*Figure11Result, error) {
+func Figure11(ctx context.Context, p *Platform, m int, sweeps int, rng *stats.RNG) (*Figure11Result, error) {
 	if m <= 0 {
 		m = 14
 	}
@@ -96,7 +97,7 @@ func Figure11(p *Platform, m int, sweeps int, rng *stats.RNG) (*Figure11Result, 
 		sweeps = 10
 	}
 	cfg := testbed.ScanConfig{AzMin: -45, AzMax: 45, AzStep: 45, Elevations: []float64{0}, SweepsPerPosition: sweeps}
-	traces, err := p.Scan(channel.ConferenceRoom(), 6, cfg)
+	traces, err := p.Scan(ctx, channel.ConferenceRoom(), 6, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -38,7 +39,7 @@ type PatternResult struct {
 
 // runCampaign builds a fresh chamber rig and measures all 35 patterns on
 // grid.
-func runCampaign(name string, seed int64, grid *geom.Grid, repeats int) (*PatternResult, error) {
+func runCampaign(ctx context.Context, name string, seed int64, grid *geom.Grid, repeats int) (*PatternResult, error) {
 	dut, err := wil.NewDevice(wil.Config{Name: "fig-dut", MAC: dot11ad.MACAddr{2, 0, 0, 0, 1, 1}, Seed: seed})
 	if err != nil {
 		return nil, err
@@ -56,7 +57,7 @@ func runCampaign(name string, seed int64, grid *geom.Grid, repeats int) (*Patter
 	link := wil.NewLink(channel.AnechoicChamber(), dut, probe)
 	campaign := testbed.NewChamberCampaign(link, dut, probe, seed+2)
 	campaign.Repeats = repeats
-	set, err := campaign.MeasureAllPatterns(grid)
+	set, err := campaign.MeasureAllPatterns(ctx, grid)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +81,7 @@ func runCampaign(name string, seed int64, grid *geom.Grid, repeats int) (*Patter
 // Figure5 measures the azimuth-plane patterns of all 35 sectors
 // (−180°…180°, elevation 0), the paper's Figure 5. Pass azStep 0.9 for
 // the paper's resolution or a coarser step for smoke runs.
-func Figure5(seed int64, azStep float64, repeats int) (*PatternResult, error) {
+func Figure5(ctx context.Context, seed int64, azStep float64, repeats int) (*PatternResult, error) {
 	if azStep <= 0 {
 		azStep = 0.9
 	}
@@ -88,12 +89,12 @@ func Figure5(seed int64, azStep float64, repeats int) (*PatternResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return runCampaign("figure5-azimuth-patterns", seed, grid, repeats)
+	return runCampaign(ctx, "figure5-azimuth-patterns", seed, grid, repeats)
 }
 
 // Figure6 measures the spherical patterns (azimuth ±90°, elevation
 // 0…32.4°), the paper's Figure 6. Steps of (1.8, 3.6) match the paper.
-func Figure6(seed int64, azStep, elStep float64, repeats int) (*PatternResult, error) {
+func Figure6(ctx context.Context, seed int64, azStep, elStep float64, repeats int) (*PatternResult, error) {
 	if azStep <= 0 {
 		azStep = 1.8
 	}
@@ -104,7 +105,7 @@ func Figure6(seed int64, azStep, elStep float64, repeats int) (*PatternResult, e
 	if err != nil {
 		return nil, err
 	}
-	return runCampaign("figure6-spherical-patterns", seed, grid, repeats)
+	return runCampaign(ctx, "figure6-spherical-patterns", seed, grid, repeats)
 }
 
 // Format renders the per-sector summary table.

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -37,26 +38,31 @@ type EnvironmentStudy struct {
 	Conference *TraceEval
 }
 
-// RunEnvironmentStudy executes the full campaign at fidelity f.
-func RunEnvironmentStudy(seed int64, f Fidelity) (*EnvironmentStudy, error) {
-	p, err := NewPlatform(seed, f.PatternGrid, f.CampaignRepeats)
+// RunEnvironmentStudy executes the full campaign at fidelity f. The
+// context cancels the campaign between its grid points, scan positions
+// and evaluation trials.
+func RunEnvironmentStudy(ctx context.Context, seed int64, f Fidelity) (*EnvironmentStudy, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p, err := NewPlatform(ctx, seed, f.PatternGrid, f.CampaignRepeats)
 	if err != nil {
 		return nil, err
 	}
-	labTraces, err := p.Scan(channel.Lab(), 3, f.Lab)
+	labTraces, err := p.Scan(ctx, channel.Lab(), 3, f.Lab)
 	if err != nil {
 		return nil, fmt.Errorf("eval: lab scan: %w", err)
 	}
-	confTraces, err := p.Scan(channel.ConferenceRoom(), 6, f.Conference)
+	confTraces, err := p.Scan(ctx, channel.ConferenceRoom(), 6, f.Conference)
 	if err != nil {
 		return nil, fmt.Errorf("eval: conference scan: %w", err)
 	}
 	rng := stats.NewRNG(seed).Split("trace-eval")
-	lab, err := EvaluateTraces("lab", labTraces, p.Estimator, f.Ms, f.SubsetsPerSweep, rng)
+	lab, err := EvaluateTraces(ctx, "lab", labTraces, p.Estimator, f.Ms, f.SubsetsPerSweep, rng)
 	if err != nil {
 		return nil, err
 	}
-	conf, err := EvaluateTraces("conference-room", confTraces, p.Estimator, f.Ms, f.SubsetsPerSweep, rng)
+	conf, err := EvaluateTraces(ctx, "conference-room", confTraces, p.Estimator, f.Ms, f.SubsetsPerSweep, rng)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"talon/internal/channel"
@@ -36,8 +37,9 @@ type Platform struct {
 }
 
 // NewPlatform creates the devices and runs the chamber pattern campaign
-// on grid with the given per-point repeat count.
-func NewPlatform(seed int64, grid *geom.Grid, repeats int) (*Platform, error) {
+// on grid with the given per-point repeat count. The context is observed
+// between campaign grid points.
+func NewPlatform(ctx context.Context, seed int64, grid *geom.Grid, repeats int) (*Platform, error) {
 	dut, err := wil.NewDevice(wil.Config{
 		Name: "talon-dut",
 		MAC:  dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x01},
@@ -63,7 +65,7 @@ func NewPlatform(seed int64, grid *geom.Grid, repeats int) (*Platform, error) {
 	link := wil.NewLink(channel.AnechoicChamber(), dut, probe)
 	campaign := testbed.NewChamberCampaign(link, dut, probe, seed+2)
 	campaign.Repeats = repeats
-	patterns, err := campaign.MeasureAllPatterns(grid)
+	patterns, err := campaign.MeasureAllPatterns(ctx, grid)
 	if err != nil {
 		return nil, fmt.Errorf("eval: pattern campaign: %w", err)
 	}
@@ -75,14 +77,15 @@ func NewPlatform(seed int64, grid *geom.Grid, repeats int) (*Platform, error) {
 }
 
 // Scan runs an environment scan: the DUT goes on a fresh rotation head at
-// the origin, the probe dist meters away, inside env.
-func (p *Platform) Scan(env *channel.Environment, dist float64, cfg testbed.ScanConfig) ([]testbed.Trace, error) {
+// the origin, the probe dist meters away, inside env. The context is
+// observed between head positions.
+func (p *Platform) Scan(ctx context.Context, env *channel.Environment, dist float64, cfg testbed.ScanConfig) ([]testbed.Trace, error) {
 	dutPose, probePose := testbed.FacingPoses(dist, 1.2)
 	p.DUT.SetPose(dutPose)
 	p.Probe.SetPose(probePose)
 	link := wil.NewLink(env, p.DUT, p.Probe)
 	head := testbed.NewRotationHead(stats.NewRNG(p.Seed).Split("scan-head-" + env.Name))
-	return testbed.RunScan(link, p.DUT, p.Probe, head, cfg)
+	return testbed.RunScan(ctx, link, p.DUT, p.Probe, head, cfg)
 }
 
 // Fidelity bundles the experiment dimensions so that tests can run the

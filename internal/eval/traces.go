@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -50,7 +52,16 @@ type TraceEval struct {
 // captured traces. subsets random probing subsets are drawn per sweep and
 // M. The estimator must be built from the same device's measured
 // patterns.
-func EvaluateTraces(envName string, traces []testbed.Trace, est *core.Estimator, ms []int, subsets int, rng *stats.RNG) (*TraceEval, error) {
+//
+// Trials are independent, so the CSS selections run on a bounded worker
+// pool (see SetParallelism). Results are identical to a serial run at any
+// worker count: every probing subset is drawn from rng up front in the
+// canonical (M, trace, sweep, subset) order, and aggregation replays that
+// order after the parallel phase. The context is observed between trials.
+func EvaluateTraces(ctx context.Context, envName string, traces []testbed.Trace, est *core.Estimator, ms []int, subsets int, rng *stats.RNG) (*TraceEval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("eval: no traces for %s", envName)
 	}
@@ -80,43 +91,85 @@ func EvaluateTraces(envName string, traces []testbed.Trace, est *core.Estimator,
 	te.SSW.Stability /= float64(len(traces))
 
 	// --- CSS at each M ---
-	for _, m := range ms {
-		st := &MStats{M: m}
-		for _, tr := range traces {
-			var picks []sector.ID
+	// Phase 1: draw every probing subset serially, preserving the RNG
+	// stream order a serial evaluation would consume.
+	type cssJob struct {
+		mIdx, trIdx int
+		probes      []core.Probe
+	}
+	var jobs []cssJob
+	for mIdx, m := range ms {
+		for trIdx, tr := range traces {
 			for _, sweep := range tr.Sweeps {
 				for s := 0; s < subsets; s++ {
 					probeSet, err := core.RandomProbes(rng, available, m)
 					if err != nil {
 						return nil, err
 					}
-					probes := core.ProbesFromMeasurements(probeSet.IDs(), sweep)
-					sel, err := est.SelectSector(probes)
-					if err != nil {
-						st.Failures++
-						continue
-					}
-					// Figure 7 reports the raw estimator accuracy: record
-					// every computed estimate, including ones the
-					// selection step later distrusts.
-					if sel.AoA.Used > 0 {
-						st.AzErrs = append(st.AzErrs, math.Abs(geom.WrapAz(sel.AoA.Az-tr.TrueAz)))
-						st.ElErrs = append(st.ElErrs, math.Abs(sel.AoA.El-tr.TrueEl))
-					}
-					if sel.Fallback {
-						st.Fallbacks++
-					}
-					picks = append(picks, sel.Sector)
-					if loss, ok := snrLoss(tr, sel.Sector); ok {
-						st.SNRLoss = append(st.SNRLoss, loss)
-					}
+					jobs = append(jobs, cssJob{
+						mIdx:   mIdx,
+						trIdx:  trIdx,
+						probes: core.ProbesFromMeasurements(probeSet.IDs(), sweep),
+					})
 				}
 			}
-			st.Stability += stabilityOf(picks)
+		}
+	}
+
+	// Phase 2: run the independent selections in parallel.
+	type cssResult struct {
+		sel core.Selection
+		err error
+	}
+	results := make([]cssResult, len(jobs))
+	if err := parallelFor(ctx, len(jobs), Parallelism(), func(i int) {
+		sel, err := est.SelectSectorContext(ctx, jobs[i].probes)
+		results[i] = cssResult{sel: sel, err: err}
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: aggregate serially in the canonical order.
+	perM := make([]*MStats, len(ms))
+	for i, m := range ms {
+		perM[i] = &MStats{M: m}
+	}
+	picksPer := make(map[[2]int][]sector.ID, len(ms)*len(traces))
+	for i, job := range jobs {
+		st := perM[job.mIdx]
+		tr := traces[job.trIdx]
+		sel, err := results[i].sel, results[i].err
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+			st.Failures++
+			continue
+		}
+		// Figure 7 reports the raw estimator accuracy: record every
+		// computed estimate, including ones the selection step later
+		// distrusts.
+		if sel.AoA.Used > 0 {
+			st.AzErrs = append(st.AzErrs, math.Abs(geom.WrapAz(sel.AoA.Az-tr.TrueAz)))
+			st.ElErrs = append(st.ElErrs, math.Abs(sel.AoA.El-tr.TrueEl))
+		}
+		if sel.Fallback {
+			st.Fallbacks++
+		}
+		key := [2]int{job.mIdx, job.trIdx}
+		picksPer[key] = append(picksPer[key], sel.Sector)
+		if loss, ok := snrLoss(tr, sel.Sector); ok {
+			st.SNRLoss = append(st.SNRLoss, loss)
+		}
+	}
+	for mIdx := range ms {
+		st := perM[mIdx]
+		for trIdx := range traces {
+			st.Stability += stabilityOf(picksPer[[2]int{mIdx, trIdx}])
 		}
 		st.Stability /= float64(len(traces))
-		te.PerM = append(te.PerM, st)
 	}
+	te.PerM = perM
 	return te, nil
 }
 

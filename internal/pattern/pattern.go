@@ -57,6 +57,18 @@ func (p *Pattern) Set(azIdx, elIdx int, v float64) { p.gain[elIdx][azIdx] = v }
 // AtIndex returns the raw sample at the grid indices (azIdx, elIdx).
 func (p *Pattern) AtIndex(azIdx, elIdx int) float64 { return p.gain[elIdx][azIdx] }
 
+// Flat returns a copy of the samples in elevation-major order: the sample
+// at (azIdx, elIdx) lands at index elIdx*NumAz()+azIdx. Missing samples
+// stay NaN. The flat layout feeds precomputed correlation dictionaries.
+func (p *Pattern) Flat() []float64 {
+	numAz := p.grid.NumAz()
+	out := make([]float64, numAz*p.grid.NumEl())
+	for e, row := range p.gain {
+		copy(out[e*numAz:], row)
+	}
+	return out
+}
+
 // At returns the bilinearly interpolated value at (az, el) degrees.
 // Coordinates outside the grid are clamped to its edges. If any of the four
 // surrounding samples is missing, the nearest valid neighbour among them is

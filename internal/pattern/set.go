@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"talon/internal/geom"
 	"talon/internal/sector"
 )
 
@@ -42,6 +43,15 @@ func (s *Set) anyPattern() *Pattern {
 
 // Get returns the pattern for id, or nil if absent.
 func (s *Set) Get(id sector.ID) *Pattern { return s.patterns[id] }
+
+// Grid returns the sampling grid shared by every pattern in the set, or
+// nil when the set is empty.
+func (s *Set) Grid() *geom.Grid {
+	if p := s.anyPattern(); p != nil {
+		return p.grid
+	}
+	return nil
+}
 
 // Len returns the number of stored patterns.
 func (s *Set) Len() int { return len(s.patterns) }

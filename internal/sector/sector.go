@@ -9,7 +9,15 @@
 // schedules never transmit on.
 package sector
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknown reports a sector ID the hardware does not know: outside the
+// 6-bit on-air range, or absent from the codebook in question. Callers
+// match it with errors.Is; the root talon package re-exports it.
+var ErrUnknown = errors.New("unknown sector")
 
 // ID identifies an antenna sector. On-air encodings use the low 6 bits.
 type ID uint8

@@ -1,6 +1,7 @@
 package session
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -47,7 +48,7 @@ func setup(t *testing.T) *fixture {
 	chamber := wil.NewLink(channel.AnechoicChamber(), tx, rx)
 	campaign := testbed.NewChamberCampaign(chamber, tx, rx, 33)
 	campaign.Repeats = 2
-	patterns, err := campaign.MeasureAllPatterns(grid)
+	patterns, err := campaign.MeasureAllPatterns(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 
 	"talon/internal/dot11ad"
@@ -55,8 +56,13 @@ func (c *Campaign) defaults() {
 // MeasureTXPatterns measures the 3D transmit pattern of every predefined
 // sector on grid: per grid point the DUT transmits Repeats sector sweeps
 // whose per-sector SNR readings at the probe are averaged; afterwards each
-// sector's map is cleaned of outliers and interpolated over gaps.
-func (c *Campaign) MeasureTXPatterns(grid *geom.Grid) (*pattern.Set, error) {
+// sector's map is cleaned of outliers and interpolated over gaps. The
+// context is observed between grid points; a cancelled campaign returns
+// ctx.Err().
+func (c *Campaign) MeasureTXPatterns(ctx context.Context, grid *geom.Grid) (*pattern.Set, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.defaults()
 	txIDs := sector.TalonTX()
 	raw := make(map[sector.ID]*pattern.Pattern, len(txIDs))
@@ -67,6 +73,9 @@ func (c *Campaign) MeasureTXPatterns(grid *geom.Grid) (*pattern.Set, error) {
 
 	for ei, el := range grid.El() {
 		for ai, az := range grid.Az() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			c.Head.PointAt(c.DUT, az, el)
 			sums := make(map[sector.ID]float64, len(txIDs))
 			counts := make(map[sector.ID]int, len(txIDs))
@@ -103,12 +112,18 @@ func (c *Campaign) MeasureTXPatterns(grid *geom.Grid) (*pattern.Set, error) {
 // MeasureRXPattern measures the quasi-omni receive pattern: the roles
 // switch, the fixed probe transmits on sector 63 only ("as it has a strong
 // unidirectional gain"), and the rotating DUT records what it receives.
-func (c *Campaign) MeasureRXPattern(grid *geom.Grid) (*pattern.Pattern, error) {
+func (c *Campaign) MeasureRXPattern(ctx context.Context, grid *geom.Grid) (*pattern.Pattern, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.defaults()
 	p := pattern.New(grid)
 	slots := dot11ad.SubSweepSchedule(sector.NewSet(63))
 	for ei, el := range grid.El() {
 		for ai, az := range grid.Az() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			c.Head.PointAt(c.DUT, az, el)
 			sum, n := 0.0, 0
 			for r := 0; r < c.Repeats; r++ {
@@ -133,12 +148,12 @@ func (c *Campaign) MeasureRXPattern(grid *geom.Grid) (*pattern.Pattern, error) {
 
 // MeasureAllPatterns runs the full campaign: 34 transmit sectors plus the
 // receive sector, the 35 patterns of the paper's Figures 5 and 6.
-func (c *Campaign) MeasureAllPatterns(grid *geom.Grid) (*pattern.Set, error) {
-	set, err := c.MeasureTXPatterns(grid)
+func (c *Campaign) MeasureAllPatterns(ctx context.Context, grid *geom.Grid) (*pattern.Set, error) {
+	set, err := c.MeasureTXPatterns(ctx, grid)
 	if err != nil {
 		return nil, err
 	}
-	rx, err := c.MeasureRXPattern(grid)
+	rx, err := c.MeasureRXPattern(ctx, grid)
 	if err != nil {
 		return nil, err
 	}

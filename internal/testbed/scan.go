@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"fmt"
 
 	"talon/internal/dot11ad"
@@ -58,8 +59,12 @@ func ConferenceScan() ScanConfig {
 }
 
 // RunScan steps the head through cfg and captures a Trace per position.
-// The DUT transmits full sector sweeps; the probe records them.
-func RunScan(link *wil.Link, dut, probe *wil.Device, head *RotationHead, cfg ScanConfig) ([]Trace, error) {
+// The DUT transmits full sector sweeps; the probe records them. The
+// context is observed between positions.
+func RunScan(ctx context.Context, link *wil.Link, dut, probe *wil.Device, head *RotationHead, cfg ScanConfig) ([]Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.AzStep <= 0 || cfg.AzMax < cfg.AzMin {
 		return nil, fmt.Errorf("testbed: invalid azimuth range [%v, %v] step %v", cfg.AzMin, cfg.AzMax, cfg.AzStep)
 	}
@@ -73,6 +78,9 @@ func RunScan(link *wil.Link, dut, probe *wil.Device, head *RotationHead, cfg Sca
 	var traces []Trace
 	for _, el := range cfg.Elevations {
 		for az := cfg.AzMin; az <= cfg.AzMax+1e-9; az += cfg.AzStep {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			head.PointAt(dut, az, el)
 			trueAz, trueEl, ok := radio.DominantDepartureAngles(link.Env, dut.Pose(), probe.Pose())
 			if !ok {

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -84,7 +85,7 @@ func TestCampaignMeasuresPatterns(t *testing.T) {
 	link, dut, probe, _ := newRig(t, channel.AnechoicChamber(), 3)
 	c := NewChamberCampaign(link, dut, probe, 5)
 	c.Repeats = 2
-	set, err := c.MeasureAllPatterns(coarseGrid(t))
+	set, err := c.MeasureAllPatterns(context.Background(), coarseGrid(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestScanConfigs(t *testing.T) {
 func TestRunScanTraces(t *testing.T) {
 	link, dut, probe, head := newRig(t, channel.ConferenceRoom(), 6)
 	cfg := ScanConfig{AzMin: -30, AzMax: 30, AzStep: 15, Elevations: []float64{0}, SweepsPerPosition: 2}
-	traces, err := RunScan(link, dut, probe, head, cfg)
+	traces, err := RunScan(context.Background(), link, dut, probe, head, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,10 +161,10 @@ func TestRunScanTraces(t *testing.T) {
 
 func TestRunScanValidation(t *testing.T) {
 	link, dut, probe, head := newRig(t, channel.AnechoicChamber(), 3)
-	if _, err := RunScan(link, dut, probe, head, ScanConfig{AzStep: 0, Elevations: []float64{0}}); err == nil {
+	if _, err := RunScan(context.Background(), link, dut, probe, head, ScanConfig{AzStep: 0, Elevations: []float64{0}}); err == nil {
 		t.Error("zero step accepted")
 	}
-	if _, err := RunScan(link, dut, probe, head, ScanConfig{AzMin: 0, AzMax: 1, AzStep: 1}); err == nil {
+	if _, err := RunScan(context.Background(), link, dut, probe, head, ScanConfig{AzMin: 0, AzMax: 1, AzStep: 1}); err == nil {
 		t.Error("missing elevations accepted")
 	}
 }
@@ -179,7 +180,7 @@ func TestEndToEndCompressiveSelection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	patterns, err := campaign.MeasureTXPatterns(grid)
+	patterns, err := campaign.MeasureTXPatterns(context.Background(), grid)
 	if err != nil {
 		t.Fatal(err)
 	}

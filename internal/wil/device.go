@@ -104,7 +104,7 @@ func (d *Device) MeasRNG() *stats.RNG { return d.measRNG }
 func (d *Device) TXGain(id sector.ID) (radio.GainFunc, error) {
 	w, ok := d.codebook.Weights(id)
 	if !ok {
-		return nil, fmt.Errorf("wil: device %s has no sector %v", d.name, id)
+		return nil, fmt.Errorf("wil: %w: device %s has no sector %v", sector.ErrUnknown, d.name, id)
 	}
 	return func(az, el float64) float64 { return d.array.Gain(w, az, el) }, nil
 }

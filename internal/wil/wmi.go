@@ -2,6 +2,7 @@ package wil
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"talon/internal/dot11ad"
@@ -11,6 +12,11 @@ import (
 // WMI (Wireless Module Interface) is the host→firmware command channel of
 // the wil6210 driver. The patched firmware adds commands to arm and clear
 // the sector override; the stock firmware rejects them.
+
+// ErrNotJailbroken reports a firmware feature whose backing patch is not
+// applied — the stock-firmware rejection of the talon-tools extensions.
+// Callers match it with errors.Is; the root talon package re-exports it.
+var ErrNotJailbroken = errors.New("firmware is not jailbroken")
 
 // WMICommandID identifies a WMI command.
 type WMICommandID uint16
@@ -35,14 +41,14 @@ func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
 	switch cmd {
 	case WMISetSweepSector:
 		if !f.OverrideEnabled() {
-			return nil, fmt.Errorf("wil: WMI %#x: firmware lacks %s patch", uint16(cmd), PatchNameSectorOverride)
+			return nil, fmt.Errorf("wil: WMI %#x: %w: firmware lacks %s patch", uint16(cmd), ErrNotJailbroken, PatchNameSectorOverride)
 		}
 		if len(payload) != 1 {
 			return nil, fmt.Errorf("wil: WMI %#x: want 1-byte sector payload, got %d", uint16(cmd), len(payload))
 		}
 		id := sector.ID(payload[0])
 		if !id.Valid() {
-			return nil, fmt.Errorf("wil: WMI %#x: invalid sector %d", uint16(cmd), payload[0])
+			return nil, fmt.Errorf("wil: WMI %#x: %w: invalid sector %d", uint16(cmd), sector.ErrUnknown, payload[0])
 		}
 		if err := f.mem.Write(forcedSectorAddr, []byte{1, byte(id)}); err != nil {
 			return nil, err
@@ -50,7 +56,7 @@ func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
 		return nil, nil
 	case WMIClearSweepSector:
 		if !f.OverrideEnabled() {
-			return nil, fmt.Errorf("wil: WMI %#x: firmware lacks %s patch", uint16(cmd), PatchNameSectorOverride)
+			return nil, fmt.Errorf("wil: WMI %#x: %w: firmware lacks %s patch", uint16(cmd), ErrNotJailbroken, PatchNameSectorOverride)
 		}
 		if err := f.mem.Write(forcedSectorAddr, []byte{0, 0}); err != nil {
 			return nil, err
@@ -58,7 +64,7 @@ func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
 		return nil, nil
 	case WMIGetSweepSeq:
 		if !f.SweepDumpEnabled() {
-			return nil, fmt.Errorf("wil: WMI %#x: firmware lacks %s patch", uint16(cmd), PatchNameSweepDump)
+			return nil, fmt.Errorf("wil: WMI %#x: %w: firmware lacks %s patch", uint16(cmd), ErrNotJailbroken, PatchNameSweepDump)
 		}
 		b, err := f.mem.Read(ringHeaderAddr, 4)
 		if err != nil {
@@ -74,7 +80,7 @@ func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
 // RingCapacity records are retained.
 func (f *Firmware) ReadSweepDump() ([]SweepRecord, error) {
 	if !f.SweepDumpEnabled() {
-		return nil, fmt.Errorf("wil: firmware lacks %s patch", PatchNameSweepDump)
+		return nil, fmt.Errorf("wil: %w: firmware lacks %s patch", ErrNotJailbroken, PatchNameSweepDump)
 	}
 	hdr, err := f.mem.Read(ringHeaderAddr, 4)
 	if err != nil {

@@ -10,22 +10,51 @@
 // selection (CSS), which probes a random subset of M sectors, estimates
 // the signal's departure angle by correlating the measurements against
 // the device's measured 3D sector patterns, and picks the best of all N
-// sectors toward that angle.
+// sectors toward that angle. Estimation runs on a precomputed parallel
+// correlation engine (see DESIGN.md, "Correlation engine").
 //
 // The quickest route from zero to a trained link:
 //
+//	ctx := context.Background()
 //	dut, _ := talon.NewDevice(talon.DeviceConfig{Name: "ap", Seed: 1})
 //	peer, _ := talon.NewDevice(talon.DeviceConfig{Name: "sta", Seed: 2})
 //	dut.Jailbreak()
 //	peer.Jailbreak()
 //	link := talon.NewLink(talon.ConferenceRoom(), dut, peer)
-//	patterns, _ := talon.MeasurePatterns(dut, peer, talon.DefaultPatternGrid(), 3)
-//	trainer, _ := talon.NewTrainer(link, patterns, 14, 42)
-//	res, _ := trainer.Train(dut, peer)
+//	patterns, _ := talon.MeasurePatterns(ctx, dut, peer, talon.DefaultPatternGrid(), 3)
+//	trainer, _ := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(42))
+//	res, _ := trainer.Train(ctx, dut, peer)
 //	fmt.Println("transmit on sector", res.Sector)
+//
+// # Cancellation
+//
+// Every long-running entry point — MeasurePatterns, Trainer.Train,
+// Trainer.TrainMutual, Trainer.TrainWithBackup, and the campaign drivers
+// in internal/eval — takes a context.Context as its first parameter and
+// returns ctx.Err() promptly when it is cancelled (checked between grid
+// points, probes and trials). Deprecated *NoContext wrappers keep the old
+// one-line call sites working.
+//
+// # Construction
+//
+// NewTrainer takes functional options instead of positional knobs:
+// WithM sets the probe budget (default 14, the paper's operating point),
+// WithSeed the probing RNG seed, WithEstimatorOptions the estimator
+// tuning. The old positional constructor survives as the deprecated
+// NewTrainerLegacy.
+//
+// # Errors
+//
+// Failure classes are exposed as sentinels matchable with errors.Is:
+// ErrNotJailbroken (a firmware feature needs a missing patch),
+// ErrTooFewProbes (probe budget or reported measurements below the
+// minimum), ErrDegenerateSurface (measurements carry no directional
+// information), and ErrUnknownSector (a sector ID the hardware does not
+// know).
 package talon
 
 import (
+	"context"
 	"fmt"
 
 	"talon/internal/channel"
@@ -72,6 +101,24 @@ type (
 	SLSResult = wil.SLSResult
 )
 
+// Sentinel errors of the public API, re-exported from the internal
+// packages that produce them. Match with errors.Is; all returned errors
+// wrap these with call-site detail.
+var (
+	// ErrNotJailbroken reports a firmware feature whose backing patch is
+	// not applied (sweep dump reads, sector override).
+	ErrNotJailbroken = wil.ErrNotJailbroken
+	// ErrTooFewProbes reports a probe budget out of range or a probe
+	// vector with too few usable measurements.
+	ErrTooFewProbes = core.ErrTooFewProbes
+	// ErrDegenerateSurface reports a correlation surface with no positive
+	// maximum: the measurements carry no directional information.
+	ErrDegenerateSurface = core.ErrDegenerateSurface
+	// ErrUnknownSector reports a sector ID outside the hardware's
+	// codebook or the 6-bit on-air range.
+	ErrUnknownSector = sector.ErrUnknown
+)
+
 // NewDevice builds a simulated router. See wil.Config for the knobs; only
 // Name is required, Seed freezes the unit's hardware imperfections.
 func NewDevice(cfg DeviceConfig) (*Device, error) { return wil.NewDevice(cfg) }
@@ -109,15 +156,25 @@ func NewGrid(azMin, azMax, azStep, elMin, elMax, elStep float64) (*Grid, error) 
 // dut rotates on the measurement head, probe observes from 3 m away, and
 // all 35 sector patterns are measured on grid, averaging repeats sweeps
 // per point. Both devices are repositioned by the campaign; dut must be
-// jailbroken so measurements are readable.
-func MeasurePatterns(dut, probe *Device, grid *Grid, repeats int) (*PatternSet, error) {
+// jailbroken so measurements are readable. The context is observed
+// between grid points; a cancelled campaign returns ctx.Err().
+func MeasurePatterns(ctx context.Context, dut, probe *Device, grid *Grid, repeats int) (*PatternSet, error) {
 	link := wil.NewLink(channel.AnechoicChamber(), dut, probe)
 	campaign := testbed.NewChamberCampaign(link, dut, probe, 1)
 	campaign.Repeats = repeats
-	return campaign.MeasureAllPatterns(grid)
+	return campaign.MeasureAllPatterns(ctx, grid)
 }
 
-// NewEstimator builds a CSS estimator over measured patterns.
+// MeasurePatternsNoContext is MeasurePatterns without cancellation.
+//
+// Deprecated: use MeasurePatterns with a context.
+func MeasurePatternsNoContext(dut, probe *Device, grid *Grid, repeats int) (*PatternSet, error) {
+	return MeasurePatterns(context.Background(), dut, probe, grid, repeats)
+}
+
+// NewEstimator builds a CSS estimator over measured patterns and
+// precomputes its correlation dictionary. The set must not be mutated
+// afterwards.
 func NewEstimator(patterns *PatternSet, opts EstimatorOptions) (*Estimator, error) {
 	return core.NewEstimator(patterns, opts)
 }
@@ -148,20 +205,67 @@ type Trainer struct {
 	rng  *stats.RNG
 }
 
-// NewTrainer builds a trainer probing m sectors per round. patterns must
-// be the transmitter's measured pattern set.
-func NewTrainer(link *Link, patterns *PatternSet, m int, seed int64) (*Trainer, error) {
+// TrainerOption configures NewTrainer.
+type TrainerOption func(*trainerConfig)
+
+type trainerConfig struct {
+	m       int
+	seed    int64
+	estOpts EstimatorOptions
+}
+
+// DefaultM is the probe budget a Trainer uses unless WithM overrides it:
+// the paper's M = 14 operating point.
+const DefaultM = 14
+
+// WithM sets the probe budget per training round (2–34; default
+// DefaultM).
+func WithM(m int) TrainerOption {
+	return func(c *trainerConfig) { c.m = m }
+}
+
+// WithSeed seeds the probing-subset RNG (default 1).
+func WithSeed(seed int64) TrainerOption {
+	return func(c *trainerConfig) { c.seed = seed }
+}
+
+// WithEstimatorOptions tunes the estimator the trainer builds over the
+// pattern set (SNR-only correlation, refinement, fallback threshold…).
+func WithEstimatorOptions(opts EstimatorOptions) TrainerOption {
+	return func(c *trainerConfig) { c.estOpts = opts }
+}
+
+// NewTrainer builds a trainer over link using the transmitter's measured
+// pattern set, configured by functional options:
+//
+//	trainer, err := talon.NewTrainer(link, patterns,
+//		talon.WithM(14), talon.WithSeed(42))
+//
+// Defaults: M = DefaultM, seed 1, zero EstimatorOptions.
+func NewTrainer(link *Link, patterns *PatternSet, opts ...TrainerOption) (*Trainer, error) {
+	cfg := trainerConfig{m: DefaultM, seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if link == nil {
 		return nil, fmt.Errorf("talon: trainer needs a link")
 	}
-	if m < 2 || m > len(sector.TalonTX()) {
-		return nil, fmt.Errorf("talon: probe count %d out of range [2, 34]", m)
+	if cfg.m < 2 || cfg.m > len(sector.TalonTX()) {
+		return nil, fmt.Errorf("talon: %w: probe count %d out of range [2, 34]", ErrTooFewProbes, cfg.m)
 	}
-	est, err := core.NewEstimator(patterns, core.Options{})
+	est, err := core.NewEstimator(patterns, cfg.estOpts)
 	if err != nil {
 		return nil, err
 	}
-	return &Trainer{link: link, est: est, m: m, rng: stats.NewRNG(seed)}, nil
+	return &Trainer{link: link, est: est, m: cfg.m, rng: stats.NewRNG(cfg.seed)}, nil
+}
+
+// NewTrainerLegacy builds a trainer from the pre-options positional
+// signature.
+//
+// Deprecated: use NewTrainer with WithM and WithSeed.
+func NewTrainerLegacy(link *Link, patterns *PatternSet, m int, seed int64) (*Trainer, error) {
+	return NewTrainer(link, patterns, WithM(m), WithSeed(seed))
 }
 
 // M returns the probe budget per round.
@@ -170,7 +274,7 @@ func (t *Trainer) M() int { return t.m }
 // SetM changes the probe budget (e.g. under an adaptive controller).
 func (t *Trainer) SetM(m int) error {
 	if m < 2 || m > len(sector.TalonTX()) {
-		return fmt.Errorf("talon: probe count %d out of range [2, 34]", m)
+		return fmt.Errorf("talon: %w: probe count %d out of range [2, 34]", ErrTooFewProbes, m)
 	}
 	t.m = m
 	return nil
@@ -182,8 +286,16 @@ func (t *Trainer) Estimator() *Estimator { return t.est }
 // Train selects tx's transmit sector toward rx: it sweeps a random
 // M-sector subset from tx, reads rx's measurement dump, runs compressive
 // selection, and (when rx is jailbroken) arms rx's feedback override with
-// the choice so subsequent sweeps feed it back.
-func (t *Trainer) Train(tx, rx *Device) (*TrainResult, error) {
+// the choice so subsequent sweeps feed it back. The context is observed
+// between the stages and inside the correlation grid search; a cancelled
+// training returns ctx.Err().
+func (t *Trainer) Train(ctx context.Context, tx, rx *Device) (*TrainResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
 	if err != nil {
 		return nil, err
@@ -192,7 +304,7 @@ func (t *Trainer) Train(tx, rx *Device) (*TrainResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sel, err := t.est.SelectSector(core.ProbesFromMeasurements(probeSet.IDs(), meas))
+	sel, err := t.est.SelectSectorContext(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas))
 	if err != nil {
 		return nil, err
 	}
@@ -204,12 +316,26 @@ func (t *Trainer) Train(tx, rx *Device) (*TrainResult, error) {
 	return &TrainResult{Selection: sel, Sector: sel.Sector, Probed: probeSet.IDs()}, nil
 }
 
+// TrainNoContext is Train without cancellation.
+//
+// Deprecated: use Train with a context.
+func (t *Trainer) TrainNoContext(tx, rx *Device) (*TrainResult, error) {
+	return t.Train(context.Background(), tx, rx)
+}
+
 // TrainMutual runs the full protocol exchange: both sides sweep the same
 // probing subset inside one sector-level sweep, with the compressive
 // choice injected into the feedback fields through the firmware override.
-func (t *Trainer) TrainMutual(initiator, responder *Device) (*TrainResult, error) {
-	res, err := t.Train(initiator, responder)
+// The context is observed between the stages.
+func (t *Trainer) TrainMutual(ctx context.Context, initiator, responder *Device) (*TrainResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res, err := t.Train(ctx, initiator, responder)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	slots := dot11ad.SubSweepSchedule(sector.NewSet(res.Probed...))
@@ -219,6 +345,13 @@ func (t *Trainer) TrainMutual(initiator, responder *Device) (*TrainResult, error
 	}
 	res.SLS = sls
 	return res, nil
+}
+
+// TrainMutualNoContext is TrainMutual without cancellation.
+//
+// Deprecated: use TrainMutual with a context.
+func (t *Trainer) TrainMutualNoContext(initiator, responder *Device) (*TrainResult, error) {
+	return t.TrainMutual(context.Background(), initiator, responder)
 }
 
 // TalonTXSectors lists the 34 predefined transmit sectors.
@@ -238,8 +371,15 @@ type BackupSelection = core.BackupSelection
 // correlation surface exposes a distinct secondary path (e.g. a wall
 // reflection), also returns a backup sector: if the primary path gets
 // blocked, switching to the backup keeps the link alive without a new
-// training round.
-func (t *Trainer) TrainWithBackup(tx, rx *Device) (*TrainResult, BackupSelection, error) {
+// training round. The context is observed between the stages and inside
+// the correlation searches.
+func (t *Trainer) TrainWithBackup(ctx context.Context, tx, rx *Device) (*TrainResult, BackupSelection, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, BackupSelection{}, err
+	}
 	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
 	if err != nil {
 		return nil, BackupSelection{}, err
@@ -248,7 +388,7 @@ func (t *Trainer) TrainWithBackup(tx, rx *Device) (*TrainResult, BackupSelection
 	if err != nil {
 		return nil, BackupSelection{}, err
 	}
-	backup, err := t.est.SelectWithBackup(core.ProbesFromMeasurements(probeSet.IDs(), meas), 18)
+	backup, err := t.est.SelectWithBackupContext(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas), 18)
 	if err != nil {
 		return nil, BackupSelection{}, err
 	}
@@ -259,4 +399,11 @@ func (t *Trainer) TrainWithBackup(tx, rx *Device) (*TrainResult, BackupSelection
 		}
 	}
 	return res, backup, nil
+}
+
+// TrainWithBackupNoContext is TrainWithBackup without cancellation.
+//
+// Deprecated: use TrainWithBackup with a context.
+func (t *Trainer) TrainWithBackupNoContext(tx, rx *Device) (*TrainResult, BackupSelection, error) {
+	return t.TrainWithBackup(context.Background(), tx, rx)
 }

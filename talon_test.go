@@ -1,6 +1,8 @@
 package talon_test
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -37,7 +39,7 @@ func coarsePatternGrid(t testing.TB) *talon.Grid {
 
 func TestQuickstartFlow(t *testing.T) {
 	dut, peer := buildPair(t)
-	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 2)
+	patterns, err := talon.MeasurePatterns(context.Background(), dut, peer, coarsePatternGrid(t), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,11 +56,11 @@ func TestQuickstartFlow(t *testing.T) {
 	dut.SetPose(dutPose)
 	peer.SetPose(peerPose)
 
-	trainer, err := talon.NewTrainer(link, patterns, 14, 7)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trainer.Train(dut, peer)
+	res, err := trainer.Train(context.Background(), dut, peer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +89,7 @@ func TestQuickstartFlow(t *testing.T) {
 
 func TestTrainMutual(t *testing.T) {
 	dut, peer := buildPair(t)
-	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 2)
+	patterns, err := talon.MeasurePatterns(context.Background(), dut, peer, coarsePatternGrid(t), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,11 +100,11 @@ func TestTrainMutual(t *testing.T) {
 	dut.SetPose(dutPose)
 	peer.SetPose(peerPose)
 
-	trainer, err := talon.NewTrainer(link, patterns, 14, 9)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := trainer.TrainMutual(dut, peer)
+	res, err := trainer.TrainMutual(context.Background(), dut, peer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,21 +122,21 @@ func TestTrainMutual(t *testing.T) {
 
 func TestTrainerValidation(t *testing.T) {
 	dut, peer := buildPair(t)
-	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 1)
+	patterns, err := talon.MeasurePatterns(context.Background(), dut, peer, coarsePatternGrid(t), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	link := talon.NewLink(talon.AnechoicChamber(), dut, peer)
-	if _, err := talon.NewTrainer(nil, patterns, 14, 1); err == nil {
+	if _, err := talon.NewTrainer(nil, patterns, talon.WithM(14)); err == nil {
 		t.Error("nil link accepted")
 	}
-	if _, err := talon.NewTrainer(link, patterns, 1, 1); err == nil {
+	if _, err := talon.NewTrainer(link, patterns, talon.WithM(1)); err == nil {
 		t.Error("m=1 accepted")
 	}
-	if _, err := talon.NewTrainer(link, patterns, 99, 1); err == nil {
+	if _, err := talon.NewTrainer(link, patterns, talon.WithM(99)); err == nil {
 		t.Error("m=99 accepted")
 	}
-	tr, err := talon.NewTrainer(link, patterns, 14, 1)
+	tr, err := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +170,7 @@ func TestEnvironmentsDistinct(t *testing.T) {
 
 func TestTrainWithBackup(t *testing.T) {
 	dut, peer := buildPair(t)
-	patterns, err := talon.MeasurePatterns(dut, peer, coarsePatternGrid(t), 2)
+	patterns, err := talon.MeasurePatterns(context.Background(), dut, peer, coarsePatternGrid(t), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,11 +180,11 @@ func TestTrainWithBackup(t *testing.T) {
 	peerPose.Pos.X = 6
 	dut.SetPose(dutPose)
 	peer.SetPose(peerPose)
-	trainer, err := talon.NewTrainer(link, patterns, 24, 19)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(24), talon.WithSeed(19))
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, backup, err := trainer.TrainWithBackup(dut, peer)
+	res, backup, err := trainer.TrainWithBackup(context.Background(), dut, peer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,5 +193,65 @@ func TestTrainWithBackup(t *testing.T) {
 	}
 	if backup.HasBackup && backup.Backup.Sector == backup.Primary.Sector {
 		t.Fatal("backup equals primary")
+	}
+}
+
+func TestMeasurePatternsCancellation(t *testing.T) {
+	dut, peer := buildPair(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := talon.MeasurePatterns(ctx, dut, peer, coarsePatternGrid(t), 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTrainCancellation(t *testing.T) {
+	dut, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(context.Background(), dut, peer, coarsePatternGrid(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := talon.NewLink(talon.Lab(), dut, peer)
+	peerPose := talon.Pose{Yaw: 180}
+	peerPose.Pos.X = 3
+	peer.SetPose(peerPose)
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := trainer.Train(ctx, dut, peer); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Train: want context.Canceled, got %v", err)
+	}
+	if _, err := trainer.TrainMutual(ctx, dut, peer); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainMutual: want context.Canceled, got %v", err)
+	}
+	if _, _, err := trainer.TrainWithBackup(ctx, dut, peer); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainWithBackup: want context.Canceled, got %v", err)
+	}
+	// The same trainer still works once the pressure is off.
+	if _, err := trainer.Train(context.Background(), dut, peer); err != nil {
+		t.Fatalf("post-cancel Train: %v", err)
+	}
+}
+
+func TestSentinelErrors(t *testing.T) {
+	dut, err := talon.NewDevice(talon.DeviceConfig{Name: "stock", Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stock firmware: the dump must fail with the typed sentinel.
+	if _, err := dut.SweepDump(); !errors.Is(err, talon.ErrNotJailbroken) {
+		t.Fatalf("stock SweepDump: want ErrNotJailbroken, got %v", err)
+	}
+	dutB, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(context.Background(), dutB, peer, coarsePatternGrid(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := talon.NewLink(talon.Lab(), dutB, peer)
+	if _, err := talon.NewTrainer(link, patterns, talon.WithM(1)); !errors.Is(err, talon.ErrTooFewProbes) {
+		t.Fatalf("WithM(1): want ErrTooFewProbes, got %v", err)
 	}
 }
