@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"talon"
+	"talon/internal/core"
+)
+
+// runCSS runs one real compressive training campaign end to end on the
+// public API — pattern measurement, Trainer.Run with the full protocol
+// exchange — and prints the outcome both human-readably (the String
+// forms of Probe and Selection) and as a JSON record.
+func runCSS(ctx context.Context) error {
+	ap, err := talon.NewDevice(talon.DeviceConfig{Name: "ap", Seed: *seed})
+	if err != nil {
+		return err
+	}
+	sta, err := talon.NewDevice(talon.DeviceConfig{Name: "sta", Seed: *seed + 1})
+	if err != nil {
+		return err
+	}
+	for _, d := range []*talon.Device{ap, sta} {
+		if err := d.Jailbreak(); err != nil {
+			return err
+		}
+	}
+
+	grid, repeats := talon.DefaultPatternGrid(), 3
+	if *fidelity == "quick" {
+		g, err := talon.NewGrid(-90, 90, 9, 0, 32, 8)
+		if err != nil {
+			return err
+		}
+		grid, repeats = g, 1
+	}
+	fmt.Fprintf(os.Stderr, "measuring patterns (%d grid points x %d repeats)...\n", grid.Size(), repeats)
+	start := time.Now()
+	patterns, err := talon.MeasurePatterns(ctx, ap, sta, grid, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pattern campaign finished in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Deploy in the conference room: AP turned 25° away, station 6 m out.
+	link := talon.NewLink(talon.ConferenceRoom(), ap, sta)
+	apPose := talon.Pose{Yaw: -25}
+	apPose.Pos.Z = 1.2
+	staPose := talon.Pose{Yaw: 180}
+	staPose.Pos.X = 6
+	staPose.Pos.Z = 1.2
+	ap.SetPose(apPose)
+	sta.SetPose(staPose)
+
+	trainer, err := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(*seed))
+	if err != nil {
+		return err
+	}
+	res, err := trainer.Run(ctx, ap, sta, talon.Mutual())
+	if err != nil {
+		return err
+	}
+
+	probes := core.ProbesFromMeasurements(res.Probed, res.SLS.AtResponder)
+	fmt.Println("compressive training (conference room, M = 14):")
+	for _, p := range probes {
+		fmt.Println("  probe", p)
+	}
+	fmt.Println("selection:", res.Selection)
+	fmt.Printf("true SNR on sector %v: %.1f dB\n", res.Sector, link.TrueSNR(ap, sta, res.Sector))
+
+	rec := struct {
+		Selection talon.Selection `json:"selection"`
+		Probes    []talon.Probe   `json:"probes"`
+		Sector    talon.SectorID  `json:"sector"`
+		TrueSNRdB float64         `json:"true_snr_db"`
+	}{res.Selection, probes, res.Sector, link.TrueSNR(ap, sta, res.Sector)}
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
+}

@@ -22,7 +22,12 @@
 //	blockage   backup sectors from multipath estimation under LOS blockage
 //	density    dense-deployment channel-pollution study
 //	densify    codebook densification study (CSS scales, SSW does not)
+//	css        one end-to-end compressive training on the public API
 //	all        everything above
+//
+// Observability: -metrics dumps the metrics registry as JSON on exit
+// ("-" = stdout), -debug serves /metrics and /debug/pprof while the
+// experiments run, -cpuprofile writes a pprof CPU profile.
 package main
 
 import (
@@ -36,22 +41,35 @@ import (
 
 	"talon/internal/channel"
 	"talon/internal/eval"
+	"talon/internal/obs"
 	"talon/internal/stats"
 )
 
 var (
-	fidelity = flag.String("fidelity", "full", "experiment fidelity: quick or full")
-	seed     = flag.Int64("seed", 42, "experiment seed")
-	exp      = flag.String("exp", "all", "experiment to run")
-	workers  = flag.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	fidelity   = flag.String("fidelity", "full", "experiment fidelity: quick or full")
+	seed       = flag.Int64("seed", 42, "experiment seed")
+	exp        = flag.String("exp", "all", "experiment to run")
+	workers    = flag.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
+	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 )
 
 func main() {
 	flag.Parse()
 	eval.SetParallelism(*workers)
+	cleanup, err := obs.HookCLI(*metricsOut, *debugAddr, *cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "evalrunner:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx); err != nil {
+	err = run(ctx)
+	if cerr := cleanup(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "evalrunner: interrupted")
 			os.Exit(130)
@@ -132,6 +150,8 @@ func run(ctx context.Context) error {
 		return nil
 	case "densify":
 		return runDensify()
+	case "css":
+		return runCSS(ctx)
 	case "all":
 		return runAll(ctx, f)
 	}
@@ -274,7 +294,11 @@ func runAll(ctx context.Context, f eval.Fidelity) error {
 	fmt.Println()
 	fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
 	fmt.Println()
-	return runDensify()
+	if err := runDensify(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return runCSS(ctx)
 }
 
 func runDensify() error {

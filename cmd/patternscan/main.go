@@ -25,6 +25,7 @@ import (
 	"talon/internal/channel"
 	"talon/internal/dot11ad"
 	"talon/internal/geom"
+	"talon/internal/obs"
 	"talon/internal/pattern"
 	"talon/internal/testbed"
 	"talon/internal/wil"
@@ -40,13 +41,26 @@ var (
 	elStep  = flag.Float64("el-step", 3.6, "elevation step (degrees)")
 	repeats = flag.Int("repeats", 3, "sweeps averaged per grid point")
 	out     = flag.String("o", "", "output file (.csv or .pat binary); omit for summary only")
+
+	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
+	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 )
 
 func main() {
 	flag.Parse()
+	cleanup, err := obs.HookCLI(*metricsOut, *debugAddr, *cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "patternscan:", err)
+		os.Exit(1)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	if err := run(ctx); err != nil {
+	err = run(ctx)
+	if cerr := cleanup(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "patternscan: interrupted")
 			os.Exit(130)

@@ -14,6 +14,11 @@
 //	sweep      run a mutual sector-level sweep and report the outcome
 //	dump       run a sweep and print the measurement ring buffer
 //	force      arm the feedback override (use -sector) and verify it
+//	train      run one compressive training round (use -m for the budget)
+//
+// Observability: -metrics dumps the metrics registry as JSON on exit
+// ("-" = stdout), -debug serves /metrics and /debug/pprof, -cpuprofile
+// writes a pprof CPU profile.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"talon/internal/channel"
 	"talon/internal/dot11ad"
 	"talon/internal/nexmon"
+	"talon/internal/obs"
 	"talon/internal/sector"
 	"talon/internal/wil"
 )
@@ -34,11 +40,16 @@ var (
 	envName = flag.String("env", "chamber", "environment: chamber, lab or conference")
 	dist    = flag.Float64("dist", 3, "device separation in meters")
 	secFlag = flag.Int("sector", 12, "sector ID for the force command")
+	mFlag   = flag.Int("m", 14, "probe budget for the train command")
+
+	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
+	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
+	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: talonctl [flags] info|jailbreak|sweep|dump|force\n")
+		fmt.Fprintf(os.Stderr, "usage: talonctl [flags] info|jailbreak|sweep|dump|force|train\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,7 +68,16 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	if err := run(cmd); err != nil {
+	cleanup, err := obs.HookCLI(*metricsOut, *debugAddr, *cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "talonctl:", err)
+		os.Exit(1)
+	}
+	err = run(cmd)
+	if cerr := cleanup(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "talonctl:", err)
 		os.Exit(1)
 	}
@@ -118,6 +138,8 @@ func run(cmd string) error {
 		return cmdDump()
 	case "force":
 		return cmdForce()
+	case "train":
+		return cmdTrain()
 	}
 	return fmt.Errorf("unknown command %q", cmd)
 }

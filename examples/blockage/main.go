@@ -59,13 +59,14 @@ func main() {
 
 	// Train once; keep both the primary and the backup sector. Retry a
 	// few rounds if the reflection did not show in the random subset.
-	var res *talon.TrainResult
+	var res *talon.RunResult
 	var backup talon.BackupSelection
 	for i := 0; i < 8; i++ {
-		res, backup, err = trainer.TrainWithBackup(ctx, ap, sta)
+		res, err = trainer.Run(ctx, ap, sta, talon.WithBackup(talon.DefaultBackupSeparationDeg))
 		if err != nil {
 			log.Fatal(err)
 		}
+		backup = *res.Backup
 		if backup.HasBackup {
 			break
 		}

@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := trainer.TrainMutual(ctx, dut, sta)
+	res, err := trainer.Run(ctx, dut, sta, talon.Mutual())
 	if err != nil {
 		log.Fatal(err)
 	}

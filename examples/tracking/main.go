@@ -75,7 +75,7 @@ func main() {
 		if err := trainer.SetM(ctrl.M()); err != nil {
 			log.Fatal(err)
 		}
-		res, err := trainer.Train(ctx, ap, sta)
+		res, err := trainer.Run(ctx, ap, sta)
 		if err != nil {
 			log.Fatal(err)
 		}

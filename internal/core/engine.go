@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"talon/internal/pattern"
 	"talon/internal/sector"
@@ -43,6 +44,8 @@ func newEngine(set *pattern.Set) *engine {
 	if grid == nil {
 		return nil
 	}
+	buildStart := time.Now()
+	defer metDictBuildSeconds.ObserveSince(buildStart)
 	ids := set.IDs()
 	en := &engine{
 		az:     grid.Az(),
@@ -73,10 +76,12 @@ func newEngine(set *pattern.Set) *engine {
 	}
 	size := numAz * numEl
 	en.surfaces.New = func() any {
+		metScratchMisses.Inc()
 		s := make([]float64, size)
 		return &s
 	}
 	en.colBufs.New = func() any {
+		metScratchMisses.Inc()
 		s := make([]int16, 0, 64)
 		return &s
 	}
@@ -85,7 +90,10 @@ func newEngine(set *pattern.Set) *engine {
 
 // getSurface returns a pooled numAz*numEl correlation surface. Contents
 // are stale; fill overwrites every entry, other users must zero it.
-func (en *engine) getSurface() *[]float64 { return en.surfaces.Get().(*[]float64) }
+func (en *engine) getSurface() *[]float64 {
+	metScratchGets.Inc()
+	return en.surfaces.Get().(*[]float64)
+}
 
 func (en *engine) putSurface(s *[]float64) { en.surfaces.Put(s) }
 
@@ -93,6 +101,7 @@ func (en *engine) putSurface(s *[]float64) { en.surfaces.Put(s) }
 // sectors absent from the set, mirroring the serial path's nil-pattern
 // skip). The returned slice comes from a pool; release with putCols.
 func (en *engine) probeCols(ids []sector.ID) *[]int16 {
+	metScratchGets.Inc()
 	buf := en.colBufs.Get().(*[]int16)
 	cols := (*buf)[:0]
 	for _, id := range ids {
@@ -187,6 +196,7 @@ func (en *engine) fill(ctx context.Context, w []float64, cols []int16, snrLin, r
 		}
 		return nil
 	}
+	metRowsSharded.Add(int64(numEl))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {

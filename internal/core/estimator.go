@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"talon/internal/pattern"
 	"talon/internal/radio"
@@ -245,6 +246,9 @@ func (e *Estimator) EstimateAoAContext(ctx context.Context, probes []Probe) (AoA
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	metEstimates.Inc()
+	start := time.Now()
+	defer metEstimateSeconds.ObserveSince(start)
 	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
 	if reported < 2 {
 		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
@@ -263,6 +267,7 @@ func (e *Estimator) EstimateAoAContext(ctx context.Context, probes []Probe) (AoA
 	}
 	bestA, bestE, bestW := en.argmax(w)
 	if bestW <= 0 {
+		metDegenerate.Inc()
 		return AoAEstimate{}, fmt.Errorf("core: %w", ErrDegenerateSurface)
 	}
 	numAz := len(en.az)
@@ -280,6 +285,7 @@ func (e *Estimator) EstimateAoAContext(ctx context.Context, probes []Probe) (AoA
 // equivalence test (and anyone auditing the engine) can check the
 // optimized path against first principles.
 func (e *Estimator) EstimateAoASerial(probes []Probe) (AoAEstimate, error) {
+	metEstimatesSerial.Inc()
 	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
 	if reported < 2 {
 		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
@@ -379,6 +385,7 @@ func (e *Estimator) SelectSector(probes []Probe) (Selection, error) {
 // context propagates ctx.Err() instead of degrading to the sweep
 // fallback.
 func (e *Estimator) SelectSectorContext(ctx context.Context, probes []Probe) (Selection, error) {
+	metSelectEngine.Inc()
 	aoa, err := e.EstimateAoAContext(ctx, probes)
 	if err != nil && isCtxErr(err) {
 		return Selection{}, err
@@ -389,6 +396,7 @@ func (e *Estimator) SelectSectorContext(ctx context.Context, probes []Probe) (Se
 // SelectSectorSerial runs the pipeline on the serial reference estimator;
 // the equivalence test checks it against SelectSector.
 func (e *Estimator) SelectSectorSerial(probes []Probe) (Selection, error) {
+	metSelectSerial.Inc()
 	aoa, err := e.EstimateAoASerial(probes)
 	return e.finishSelection(probes, aoa, err)
 }
@@ -402,6 +410,7 @@ func (e *Estimator) finishSelection(probes []Probe, aoa AoAEstimate, err error) 
 			}
 			return Selection{}, fmt.Errorf("core: %w: no probe reported a measurement", ErrTooFewProbes)
 		}
+		metSelectFallback.Inc()
 		return Selection{Sector: id, Gain: math.NaN(), AoA: aoa, Fallback: true}, nil
 	}
 	id, gain := e.patterns.BestSector(aoa.Az, aoa.El)

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// Human- and machine-readable forms of the CSS result types, used by the
+// CLIs (evalrunner, talondump) and handy in logs.
+
+// String implements fmt.Stringer: "sector 5 (12.3 dB)" for a probe that
+// reported, "sector 5 (miss)" for one that did not.
+func (p Probe) String() string {
+	if !p.OK {
+		return fmt.Sprintf("sector %s (miss)", p.Sector)
+	}
+	return fmt.Sprintf("sector %s (%.1f dB)", p.Sector, p.Meas.SNR)
+}
+
+// probeJSON is the wire form of a Probe. SNR/RSSI are omitted for
+// misses.
+type probeJSON struct {
+	Sector string   `json:"sector"`
+	OK     bool     `json:"ok"`
+	SNR    *float64 `json:"snr_db,omitempty"`
+	RSSI   *float64 `json:"rssi_dbm,omitempty"`
+}
+
+// MarshalJSON encodes the probe with the sector in String form and the
+// measurement only when one came back.
+func (p Probe) MarshalJSON() ([]byte, error) {
+	out := probeJSON{Sector: p.Sector.String(), OK: p.OK}
+	if p.OK {
+		snr, rssi := p.Meas.SNR, p.Meas.RSSI
+		out.SNR, out.RSSI = &snr, &rssi
+	}
+	return json.Marshal(out)
+}
+
+// String implements fmt.Stringer:
+// "sector 18 (gain 14.2 dB, AoA az -12.0° el 4.0°)" for an estimated
+// selection, "sector 18 (sweep fallback)" for one that degraded to the
+// probed-sector argmax.
+func (s Selection) String() string {
+	if s.Fallback {
+		return fmt.Sprintf("sector %s (sweep fallback)", s.Sector)
+	}
+	return fmt.Sprintf("sector %s (gain %.1f dB, AoA az %.1f° el %.1f°)",
+		s.Sector, s.Gain, s.AoA.Az, s.AoA.El)
+}
+
+// selectionJSON is the wire form of a Selection. Gain and the angle are
+// omitted for fallback selections (Gain is NaN there, which JSON cannot
+// carry).
+type selectionJSON struct {
+	Sector   string   `json:"sector"`
+	Fallback bool     `json:"fallback"`
+	Gain     *float64 `json:"gain_db,omitempty"`
+	Az       *float64 `json:"aoa_az_deg,omitempty"`
+	El       *float64 `json:"aoa_el_deg,omitempty"`
+	Corr     *float64 `json:"corr,omitempty"`
+}
+
+// MarshalJSON encodes the selection with the sector in String form;
+// estimate details appear only when the selection trusted an estimate.
+func (s Selection) MarshalJSON() ([]byte, error) {
+	out := selectionJSON{Sector: s.Sector.String(), Fallback: s.Fallback}
+	if !s.Fallback && !math.IsNaN(s.Gain) {
+		gain, az, el, corr := s.Gain, s.AoA.Az, s.AoA.El, s.AoA.Corr
+		out.Gain, out.Az, out.El, out.Corr = &gain, &az, &el, &corr
+	}
+	return json.Marshal(out)
+}

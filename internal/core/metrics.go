@@ -1,0 +1,32 @@
+package core
+
+import "talon/internal/obs"
+
+// Process-wide metrics of the estimation pipeline (see README,
+// "Observability"). All updates are single atomic operations; the
+// per-estimate overhead is two counter increments and one histogram
+// observation, far below the grid search itself.
+var (
+	metEstimates = obs.NewCounter("core_estimates_total",
+		"angle-of-arrival estimates run on the correlation engine")
+	metEstimateSeconds = obs.NewHistogram("core_estimate_seconds",
+		"wall time of one engine-backed grid search", nil)
+	metEstimatesSerial = obs.NewCounter("core_estimates_serial_total",
+		"estimates run on the serial reference path")
+	metDictBuildSeconds = obs.NewHistogram("core_dict_build_seconds",
+		"correlation-dictionary precomputation time per estimator", nil)
+	metRowsSharded = obs.NewCounter("core_rows_sharded_total",
+		"correlation-surface rows filled by the sharded worker pool")
+	metScratchGets = obs.NewCounter("core_scratch_gets_total",
+		"scratch-pool fetches (surfaces and probe-column buffers)")
+	metScratchMisses = obs.NewCounter("core_scratch_misses_total",
+		"scratch-pool misses that allocated fresh scratch")
+	metSelectEngine = obs.NewCounter("core_select_engine_total",
+		"SelectSector pipelines run on the engine path")
+	metSelectSerial = obs.NewCounter("core_select_serial_total",
+		"SelectSector pipelines run on the serial reference path")
+	metSelectFallback = obs.NewCounter("core_select_fallback_total",
+		"selections that fell back to the probed-sector argmax")
+	metDegenerate = obs.NewCounter("core_surface_degenerate_total",
+		"estimates aborted on a degenerate correlation surface")
+)

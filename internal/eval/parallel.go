@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // parallelismKnob caps the worker count of the trial loops; 0 means
@@ -38,12 +39,33 @@ func parallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
+	if workers < 1 {
+		workers = 1
+	}
+	metWorkers.Set(int64(workers))
+	loopStart := time.Now()
+	defer metLoopSeconds.ObserveSince(loopStart)
+	// busyNanos accumulates per-iteration time across workers; utilization
+	// is the busy fraction of workers x wall time for this loop.
+	var busyNanos atomic.Int64
+	defer func() {
+		wall := time.Since(loopStart)
+		if wall > 0 {
+			metWorkerUtilization.Set(float64(busyNanos.Load()) / (float64(workers) * float64(wall)))
+		}
+	}()
+	run := func(i int) {
+		start := time.Now()
+		fn(i)
+		busyNanos.Add(int64(time.Since(start)))
+		metTrials.Inc()
+	}
+	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			run(i)
 		}
 		return nil
 	}
@@ -58,7 +80,7 @@ func parallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				fn(i)
+				run(i)
 			}
 		}()
 	}

@@ -108,6 +108,7 @@ func (m *Memory) Write(addr uint32, data []byte) error {
 		return fmt.Errorf("nexmon: write of %d bytes at %#08x crosses %s boundary", len(data), addr, r.name)
 	}
 	if r.lowRO && !viaAlias {
+		metWriteFaults.Inc()
 		return fmt.Errorf("nexmon: %w: %s at %#08x (use alias %#08x)", ErrWriteProtected, r.name, addr, r.alias+off)
 	}
 	copy(r.data[off:], data)

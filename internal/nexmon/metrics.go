@@ -1,0 +1,13 @@
+package nexmon
+
+import "talon/internal/obs"
+
+// Patch-framework metrics (see README, "Observability").
+var (
+	metPatchesApplied = obs.NewCounter("nexmon_patches_applied_total",
+		"firmware patches installed through the framework")
+	metPatchErrors = obs.NewCounter("nexmon_patch_errors_total",
+		"patch installations rejected (validation or memory fault)")
+	metWriteFaults = obs.NewCounter("nexmon_write_faults_total",
+		"chip-memory writes rejected by a write-protected low code mapping")
+)

@@ -37,6 +37,15 @@ func (f *Framework) Memory() *Memory { return f.mem }
 
 // Apply validates and installs p. A patch name can only be installed once.
 func (f *Framework) Apply(p Patch) error {
+	if err := f.apply(p); err != nil {
+		metPatchErrors.Inc()
+		return err
+	}
+	metPatchesApplied.Inc()
+	return nil
+}
+
+func (f *Framework) apply(p Patch) error {
 	if p.Name == "" {
 		return fmt.Errorf("nexmon: patch without name")
 	}

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestRegistryConcurrent hammers one counter, one gauge and one histogram
+// from GOMAXPROCS goroutines; with -race this is the registry's
+// race-freedom proof, and the totals check its atomicity.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c", "")
+	g := r.NewGauge("g", "")
+	fg := r.NewFloatGauge("fg", "")
+	h := r.NewHistogram("h", "", []float64{0.5, 1, 2})
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 2 {
+		workers = 2
+	}
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				fg.Set(float64(i) / perWorker)
+				h.Observe(float64(i%4) * 0.75)
+				if i%100 == 0 {
+					_ = r.Snapshot() // concurrent readers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	want := int64(workers * perWorker)
+	if got := c.Value(); got != want {
+		t.Errorf("counter: got %d, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram count: got %d, want %d", got, want)
+	}
+	// Each worker observes 0, 0.75, 1.5, 2.25 cyclically.
+	wantSum := float64(workers) * (perWorker / 4) * (0 + 0.75 + 1.5 + 2.25)
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Errorf("histogram sum: got %v, want %v", got, wantSum)
+	}
+	if got := h.Max(); got != 2.25 {
+		t.Errorf("histogram max: got %v, want 2.25", got)
+	}
+}
+
+// TestHistogramBuckets checks bucket placement and cumulative snapshot
+// counts, including the +Inf overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	snap := h.snapshot("").(HistogramSnapshot)
+	if snap.Count != 6 {
+		t.Fatalf("count: got %d, want 6", snap.Count)
+	}
+	wantCum := []int64{2, 4, 5, 6} // <=1: {0.5, 1}; <=10: +{2, 10}; <=100: +{99}; +Inf: +{1000}
+	if len(snap.Buckets) != len(wantCum) {
+		t.Fatalf("buckets: got %d, want %d", len(snap.Buckets), len(wantCum))
+	}
+	for i, b := range snap.Buckets {
+		if b.Count != wantCum[i] {
+			t.Errorf("bucket %d (le %s): got %d, want %d", i, b.LE, b.Count, wantCum[i])
+		}
+	}
+	if snap.Buckets[len(snap.Buckets)-1].LE != "+Inf" {
+		t.Errorf("last bucket le: got %q, want +Inf", snap.Buckets[len(snap.Buckets)-1].LE)
+	}
+}
+
+// TestSnapshotJSON checks the JSON rendering is valid, carries every
+// metric, and is deterministic across marshals.
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("alpha_total", "first").Add(3)
+	r.NewGauge("beta", "second").Set(-7)
+	r.NewHistogram("gamma_seconds", "third", nil).Observe(0.002)
+
+	b1, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("marshal is not deterministic")
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(b1, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, name := range []string{"alpha_total", "beta", "gamma_seconds"} {
+		if _, ok := decoded[name]; !ok {
+			t.Errorf("metric %s missing from JSON", name)
+		}
+	}
+	var alpha struct {
+		Type  string  `json:"type"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal(decoded["alpha_total"], &alpha); err != nil {
+		t.Fatal(err)
+	}
+	if alpha.Type != "counter" || alpha.Value != 3 {
+		t.Errorf("alpha_total: got %+v", alpha)
+	}
+}
+
+// TestGetOrCreate checks re-registration returns the same instrument and
+// kind mismatches panic.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("x", "")
+	b := r.NewCounter("x", "")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+	r.NewGauge("x", "")
+}
+
+// TestNames checks the sorted name listing.
+func TestNames(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("b", "")
+	r.NewCounter("a", "")
+	r.NewGauge("c", "")
+	got := r.Names()
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("names: got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("names: got %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDebugHandlerMetrics checks /metrics serves the registry as JSON.
+func TestDebugHandlerMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("served_total", "").Add(9)
+	srv := httptest.NewServer(r.DebugHandler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var decoded map[string]struct {
+		Value float64 `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded["served_total"].Value != 9 {
+		t.Errorf("served_total: got %v, want 9", decoded["served_total"].Value)
+	}
+}
+
+// TestDebugHandlerPprof checks the pprof index is wired up.
+func TestDebugHandlerPprof(t *testing.T) {
+	srv := httptest.NewServer(NewRegistry().DebugHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: status %d", resp.StatusCode)
+	}
+}
+
+// TestDumpFile checks the snapshot file dump round-trips as JSON.
+func TestDumpFile(t *testing.T) {
+	r := NewRegistry()
+	r.NewGauge("depth", "").Set(4)
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := r.DumpFile(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(b, &decoded); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if _, ok := decoded["depth"]; !ok {
+		t.Error("depth missing from dump")
+	}
+}
+
+// TestStartCPUProfile exercises the CPU-profile helper end to end.
+func TestStartCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := StartCPUProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Errorf("profile not written: %v", err)
+	}
+}

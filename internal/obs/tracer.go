@@ -1,0 +1,80 @@
+package obs
+
+import "sync"
+
+// Label is one key/value annotation on a span.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Span is one in-flight traced operation. End must be called exactly
+// once; implementations must tolerate End on a zero-duration span.
+type Span interface {
+	End()
+}
+
+// Tracer receives span begin/end hooks from instrumented pipelines
+// (Trainer.Run, campaign drivers). Implementations must be safe for
+// concurrent use. The default is Nop(), which costs one interface call
+// per span and allocates nothing.
+type Tracer interface {
+	// StartSpan begins a span; the operation ends when End is called on
+	// the returned Span.
+	StartSpan(name string, labels ...Label) Span
+}
+
+type nopTracer struct{}
+
+type nopSpan struct{}
+
+func (nopSpan) End() {}
+
+func (nopTracer) StartSpan(string, ...Label) Span { return nopSpan{} }
+
+// Nop returns the no-op tracer: every span is discarded.
+func Nop() Tracer { return nopTracer{} }
+
+// SpanEvent is one recorded tracer callback (for tests and debugging).
+type SpanEvent struct {
+	// Name is the span name; Phase is "begin" or "end".
+	Name, Phase string
+	// Labels are the begin labels (empty on end events).
+	Labels []Label
+}
+
+// Recorder is a Tracer that appends every begin/end to an event list —
+// the reference implementation used by the ordering tests and handy for
+// debugging pipelines interactively.
+type Recorder struct {
+	mu     sync.Mutex
+	events []SpanEvent
+}
+
+type recorderSpan struct {
+	r    *Recorder
+	name string
+}
+
+// StartSpan implements Tracer.
+func (r *Recorder) StartSpan(name string, labels ...Label) Span {
+	r.mu.Lock()
+	r.events = append(r.events, SpanEvent{Name: name, Phase: "begin", Labels: labels})
+	r.mu.Unlock()
+	return recorderSpan{r: r, name: name}
+}
+
+func (s recorderSpan) End() {
+	s.r.mu.Lock()
+	s.r.events = append(s.r.events, SpanEvent{Name: s.name, Phase: "end"})
+	s.r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in order.
+func (r *Recorder) Events() []SpanEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanEvent(nil), r.events...)
+}

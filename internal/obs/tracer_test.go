@@ -1,0 +1,44 @@
+package obs
+
+import "testing"
+
+// TestNopTracer checks the no-op tracer allocates nothing per span.
+func TestNopTracer(t *testing.T) {
+	tr := Nop()
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.StartSpan("x", L("k", "v"))
+		sp.End()
+	})
+	if allocs > 0 {
+		t.Errorf("nop tracer allocates %v per span, want 0", allocs)
+	}
+}
+
+// TestRecorderOrdering checks the recorder preserves begin/end order and
+// labels.
+func TestRecorderOrdering(t *testing.T) {
+	rec := &Recorder{}
+	outer := rec.StartSpan("outer", L("mode", "test"))
+	inner := rec.StartSpan("inner")
+	inner.End()
+	outer.End()
+
+	events := rec.Events()
+	want := []struct{ name, phase string }{
+		{"outer", "begin"},
+		{"inner", "begin"},
+		{"inner", "end"},
+		{"outer", "end"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		if events[i].Name != w.name || events[i].Phase != w.phase {
+			t.Errorf("event %d: got %s/%s, want %s/%s", i, events[i].Name, events[i].Phase, w.name, w.phase)
+		}
+	}
+	if len(events[0].Labels) != 1 || events[0].Labels[0] != (Label{"mode", "test"}) {
+		t.Errorf("outer begin labels: got %+v", events[0].Labels)
+	}
+}

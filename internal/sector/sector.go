@@ -12,6 +12,8 @@ package sector
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // ErrUnknown reports a sector ID the hardware does not know: outside the
@@ -39,6 +41,31 @@ func (id ID) String() string {
 
 // Valid reports whether the ID fits the 6-bit on-air field.
 func (id ID) Valid() bool { return id <= MaxID }
+
+// MarshalJSON encodes the ID as its String form ("RX" or the decimal
+// number), so dumps read the way the paper's figures label sectors.
+func (id ID) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.Quote(id.String())), nil
+}
+
+// UnmarshalJSON accepts both encodings: a JSON number (5) and the
+// String form ("5", "RX").
+func (id *ID) UnmarshalJSON(data []byte) error {
+	s := strings.TrimSpace(string(data))
+	if unq, err := strconv.Unquote(s); err == nil {
+		s = unq
+	}
+	if strings.EqualFold(s, "RX") {
+		*id = RX
+		return nil
+	}
+	n, err := strconv.ParseUint(s, 10, 8)
+	if err != nil || !ID(n).Valid() {
+		return fmt.Errorf("sector: %w: cannot decode %s", ErrUnknown, string(data))
+	}
+	*id = ID(n)
+	return nil
+}
 
 // TalonTX returns the 34 transmit sector IDs predefined in the Talon
 // AD7200 firmware, in ascending order: 1–31, 61, 62, 63.

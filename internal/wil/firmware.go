@@ -141,6 +141,15 @@ func (f *Firmware) RecordSSW(sec sector.ID, cdown uint16, m radio.Measurement) {
 	if !f.SweepDumpEnabled() {
 		return
 	}
+	metRingRecords.Inc()
+	if f.seq >= RingCapacity {
+		// The slot about to be written still holds record seq-RingCapacity,
+		// which the host can no longer read back: a drop.
+		metRingOverflow.Inc()
+		metRingOccupancy.Set(RingCapacity)
+	} else {
+		metRingOccupancy.Set(int64(f.seq) + 1)
+	}
 	slot := f.seq % RingCapacity
 	var rec [recordLen]byte
 	binary.LittleEndian.PutUint16(rec[0:2], uint16(f.seq))

@@ -37,6 +37,7 @@ func (l *Link) Now() time.Duration { return l.clock }
 // transmit advances the virtual clock by the frame's airtime and offers
 // the transmission to every attached sniffer.
 func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time.Duration) {
+	metFramesInjected.Inc()
 	l.clock += airtime
 	if len(l.sniffers) == 0 {
 		return
@@ -73,6 +74,16 @@ func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time
 // transmission either way.
 func (l *Link) Deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad.Frame, radio.Measurement, bool) {
 	l.transmit(tx, txSector, raw, dot11ad.SSWFrameTime)
+	frame, meas, ok := l.deliver(tx, rx, txSector, raw)
+	if ok {
+		metFramesDelivered.Inc()
+	} else {
+		metFramesDropped.Inc()
+	}
+	return frame, meas, ok
+}
+
+func (l *Link) deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad.Frame, radio.Measurement, bool) {
 	txGain, err := tx.TXGain(txSector)
 	if err != nil {
 		return nil, radio.Measurement{}, false
@@ -162,6 +173,7 @@ func (l *Link) RunSLS(init, resp *Device, initSlots, respSlots []dot11ad.BurstSl
 			continue
 		}
 		res.FramesSent++
+		metProbeSlots.Inc()
 		frame := dot11ad.NewSSWFrame(resp.MAC(), init.MAC(), dot11ad.DirectionInitiator, slot.CDOWN, slot.Sector, dot11ad.SSWFeedbackField{})
 		raw, err := frame.Serialize()
 		if err != nil {
@@ -185,6 +197,7 @@ func (l *Link) RunSLS(init, resp *Device, initSlots, respSlots []dot11ad.BurstSl
 			continue
 		}
 		res.FramesSent++
+		metProbeSlots.Inc()
 		fb := dot11ad.SSWFeedbackField{}
 		if haveFeedback {
 			fb.SectorSelect = feedbackForInit
@@ -270,6 +283,7 @@ func (l *Link) RunTXSS(tx, rx *Device, slots []dot11ad.BurstSlot) (map[sector.ID
 		if !slot.Used {
 			continue
 		}
+		metProbeSlots.Inc()
 		frame := dot11ad.NewSSWFrame(rx.MAC(), tx.MAC(), dot11ad.DirectionInitiator, slot.CDOWN, slot.Sector, dot11ad.SSWFeedbackField{})
 		raw, err := frame.Serialize()
 		if err != nil {

@@ -1,0 +1,28 @@
+package wil
+
+import "talon/internal/obs"
+
+// Process-wide metrics of the link and firmware layers (see README,
+// "Observability"). Frame counters tick once per transmission, ring
+// counters once per recorded SSW frame — single atomic adds, negligible
+// next to channel evaluation.
+var (
+	metFramesInjected = obs.NewCounter("wil_frames_injected_total",
+		"frames put on the air (SSW, beacons, handshake)")
+	metFramesDelivered = obs.NewCounter("wil_frames_delivered_total",
+		"frames the intended receiver decoded")
+	metFramesDropped = obs.NewCounter("wil_frames_dropped_total",
+		"frames the intended receiver failed to decode")
+	metProbeSlots = obs.NewCounter("wil_ssw_probes_total",
+		"SSW probe slots transmitted in sector sweeps")
+	metRingRecords = obs.NewCounter("wil_ring_records_total",
+		"measurement records written to the firmware ring buffer")
+	metRingOverflow = obs.NewCounter("wil_ring_overflow_total",
+		"ring-buffer writes that overwrote an older record (drops)")
+	metRingOccupancy = obs.NewGauge("wil_ring_occupancy",
+		"valid records in the most recently written ring buffer")
+	metWMICommands = obs.NewCounter("wil_wmi_commands_total",
+		"WMI commands handled by the firmware")
+	metWMIErrors = obs.NewCounter("wil_wmi_errors_total",
+		"WMI commands the firmware rejected")
+)

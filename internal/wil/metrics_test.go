@@ -1,0 +1,92 @@
+package wil
+
+import (
+	"testing"
+
+	"talon/internal/radio"
+	"talon/internal/sector"
+)
+
+// TestRingOverflowCounter fills the ring buffer past capacity and checks
+// the record/overflow counters and the occupancy gauge. Counters are
+// process-global, so the test works on deltas.
+func TestRingOverflowCounter(t *testing.T) {
+	fw := NewFirmware()
+	if err := fw.ApplyPatch(SweepDumpPatch()); err != nil {
+		t.Fatal(err)
+	}
+
+	records0 := metRingRecords.Value()
+	overflow0 := metRingOverflow.Value()
+
+	m := radio.Measurement{SNR: 10, RSSI: -60}
+	total := RingCapacity + 17
+	for i := 0; i < total; i++ {
+		fw.BeginRXSweep()
+		fw.RecordSSW(sector.ID(1+i%31), uint16(i%32), m)
+	}
+
+	if got := metRingRecords.Value() - records0; got != int64(total) {
+		t.Fatalf("ring records delta = %d, want %d", got, total)
+	}
+	if got := metRingOverflow.Value() - overflow0; got != 17 {
+		t.Fatalf("ring overflow delta = %d, want 17", got)
+	}
+	if got := metRingOccupancy.Value(); got != RingCapacity {
+		t.Fatalf("ring occupancy = %d, want %d", got, RingCapacity)
+	}
+
+	// The host-visible dump retains exactly the last RingCapacity records.
+	recs, err := fw.ReadSweepDump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != RingCapacity {
+		t.Fatalf("dump has %d records, want %d", len(recs), RingCapacity)
+	}
+	if recs[0].Seq != uint32(total-RingCapacity) {
+		t.Fatalf("oldest retained seq = %d, want %d", recs[0].Seq, total-RingCapacity)
+	}
+}
+
+// TestOccupancyBeforeWrap checks the gauge tracks the fill level while
+// the ring is not yet full.
+func TestOccupancyBeforeWrap(t *testing.T) {
+	fw := NewFirmware()
+	if err := fw.ApplyPatch(SweepDumpPatch()); err != nil {
+		t.Fatal(err)
+	}
+	m := radio.Measurement{SNR: 5, RSSI: -70}
+	for i := 0; i < 5; i++ {
+		fw.RecordSSW(sector.ID(1+i), uint16(i), m)
+	}
+	if got := metRingOccupancy.Value(); got != 5 {
+		t.Fatalf("ring occupancy = %d, want 5", got)
+	}
+}
+
+// TestWMICommandCounters checks the command/error counters tick for
+// accepted and rejected commands.
+func TestWMICommandCounters(t *testing.T) {
+	fw := NewFirmware()
+	cmds0 := metWMICommands.Value()
+	errs0 := metWMIErrors.Value()
+
+	// Stock firmware rejects the extension command.
+	if _, err := fw.HandleWMI(WMISetSweepSector, []byte{12}); err == nil {
+		t.Fatal("stock firmware accepted WMISetSweepSector")
+	}
+	if err := fw.ApplyPatch(SectorOverridePatch()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.HandleWMI(WMISetSweepSector, []byte{12}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := metWMICommands.Value() - cmds0; got != 2 {
+		t.Fatalf("WMI command delta = %d, want 2", got)
+	}
+	if got := metWMIErrors.Value() - errs0; got != 1 {
+		t.Fatalf("WMI error delta = %d, want 1", got)
+	}
+}

@@ -38,6 +38,15 @@ const (
 // payload. Unknown commands and commands whose backing patch is missing
 // fail, as on an unpatched chip.
 func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
+	metWMICommands.Inc()
+	reply, err := f.handleWMI(cmd, payload)
+	if err != nil {
+		metWMIErrors.Inc()
+	}
+	return reply, err
+}
+
+func (f *Firmware) handleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
 	switch cmd {
 	case WMISetSweepSector:
 		if !f.OverrideEnabled() {

@@ -1,0 +1,198 @@
+package talon
+
+import (
+	"context"
+	"time"
+
+	"talon/internal/core"
+	"talon/internal/dot11ad"
+	"talon/internal/obs"
+	"talon/internal/sector"
+)
+
+// Tracing hooks of the public API, re-exported from internal/obs. A
+// Tracer observes the stages of a training run (sweep, estimate, force,
+// SLS); the default is a zero-allocation no-op.
+type (
+	// Tracer receives span begin/end callbacks from instrumented code.
+	Tracer = obs.Tracer
+	// Span is one live span; End closes it.
+	Span = obs.Span
+	// TraceLabel is one key/value annotation on a span.
+	TraceLabel = obs.Label
+	// TraceRecorder is a Tracer that records events for inspection —
+	// intended for tests and debugging, not hot paths.
+	TraceRecorder = obs.Recorder
+)
+
+// NopTracer returns the no-op Tracer Run uses by default.
+func NopTracer() Tracer { return obs.Nop() }
+
+// Trainer metrics (see README, "Observability").
+var (
+	metTrainings = obs.NewCounter("trainer_trainings_total",
+		"training rounds started (Run and its Train* wrappers)")
+	metRetrains = obs.NewCounter("trainer_retrains_total",
+		"training rounds beyond the first on the same Trainer")
+	metProbesIssued = obs.NewCounter("trainer_probes_issued_total",
+		"compressive probes issued across training rounds")
+	metProbeMisses = obs.NewCounter("trainer_probe_misses_total",
+		"issued probes whose measurement did not come back")
+	metTrainSeconds = obs.NewHistogram("trainer_train_seconds",
+		"wall time per training round", obs.LatencyBuckets)
+)
+
+// RunOption configures one Trainer.Run call.
+type RunOption func(*runConfig)
+
+type runConfig struct {
+	mutual    bool
+	backup    bool
+	backupSep float64
+	tracer    Tracer
+}
+
+// Mutual extends the run to the full protocol exchange: after the
+// compressive selection, both sides sweep the probed subset inside one
+// sector-level sweep with the choice injected into the feedback fields
+// (what TrainMutual did).
+func Mutual() RunOption {
+	return func(c *runConfig) { c.mutual = true }
+}
+
+// WithBackup additionally extracts a backup sector toward a secondary
+// propagation path at least minSepDeg degrees away from the primary
+// (what TrainWithBackup did with minSepDeg = 18). The result's Backup
+// field is populated; check Backup.HasBackup before using it.
+func WithBackup(minSepDeg float64) RunOption {
+	return func(c *runConfig) { c.backup, c.backupSep = true, minSepDeg }
+}
+
+// WithTracer attaches a Tracer to the run; every stage reports a span.
+// The default is NopTracer.
+func WithTracer(tr Tracer) RunOption {
+	return func(c *runConfig) {
+		if tr != nil {
+			c.tracer = tr
+		}
+	}
+}
+
+func (c *runConfig) mode() string {
+	switch {
+	case c.mutual && c.backup:
+		return "mutual+backup"
+	case c.mutual:
+		return "mutual"
+	case c.backup:
+		return "backup"
+	}
+	return "train"
+}
+
+// RunResult is the outcome of one Trainer.Run: the TrainResult of the
+// plain training plus the optional extras the options enabled.
+type RunResult struct {
+	TrainResult
+	// Backup holds the multipath backup selection when WithBackup was
+	// requested, nil otherwise.
+	Backup *BackupSelection
+}
+
+// Run performs one compressive training round from tx toward rx and is
+// the single entry point behind Train, TrainMutual and TrainWithBackup:
+// it probes a random M-sector subset, estimates the departure angle,
+// selects the best transmit sector and (when rx is jailbroken) arms rx's
+// feedback override with the choice. Options extend the round — Mutual
+// runs the full sweep handshake afterwards, WithBackup extracts a backup
+// sector, WithTracer observes the stages. The context is observed
+// between the stages and inside the correlation grid search; a cancelled
+// run returns ctx.Err().
+func (t *Trainer) Run(ctx context.Context, tx, rx *Device, opts ...RunOption) (*RunResult, error) {
+	cfg := runConfig{tracer: obs.Nop()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	metTrainings.Inc()
+	if t.runs > 0 {
+		metRetrains.Inc()
+	}
+	t.runs++
+	start := time.Now()
+	defer metTrainSeconds.ObserveSince(start)
+
+	run := cfg.tracer.StartSpan("trainer.run", obs.L("mode", cfg.mode()))
+	defer run.End()
+
+	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
+	if err != nil {
+		return nil, err
+	}
+	probed := probeSet.IDs()
+
+	sweep := cfg.tracer.StartSpan("trainer.sweep")
+	meas, err := t.link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
+	sweep.End()
+	if err != nil {
+		return nil, err
+	}
+	metProbesIssued.Add(int64(len(probed)))
+	for _, id := range probed {
+		if _, ok := meas[id]; !ok {
+			metProbeMisses.Inc()
+		}
+	}
+
+	probes := core.ProbesFromMeasurements(probed, meas)
+	res := &RunResult{}
+	estimate := cfg.tracer.StartSpan("trainer.estimate")
+	if cfg.backup {
+		backup, err := t.est.SelectWithBackupContext(ctx, probes, cfg.backupSep)
+		estimate.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Backup = &backup
+		res.Selection = backup.Primary
+	} else {
+		sel, err := t.est.SelectSectorContext(ctx, probes)
+		estimate.End()
+		if err != nil {
+			return nil, err
+		}
+		res.Selection = sel
+	}
+	res.Sector = res.Selection.Sector
+	res.Probed = probed
+
+	if rx.Firmware().OverrideEnabled() {
+		force := cfg.tracer.StartSpan("trainer.force")
+		err := rx.ForceSector(res.Sector)
+		force.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.mutual {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		slsSpan := cfg.tracer.StartSpan("trainer.sls")
+		slots := dot11ad.SubSweepSchedule(sector.NewSet(probed...))
+		sls, err := t.link.RunSLS(tx, rx, slots, slots)
+		slsSpan.End()
+		if err != nil {
+			return nil, err
+		}
+		res.SLS = sls
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+package talon_test
+
+import (
+	"context"
+	"testing"
+
+	"talon"
+)
+
+// buildTrainer assembles a jailbroken pair, coarse patterns and a
+// trainer in env, mirroring the package example deployment.
+func buildTrainer(t *testing.T, env *talon.Environment, opts ...talon.TrainerOption) (*talon.Trainer, *talon.Link, *talon.Device, *talon.Device) {
+	t.Helper()
+	dut, peer := buildPair(t)
+	patterns, err := talon.MeasurePatterns(context.Background(), dut, peer, coarsePatternGrid(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link := talon.NewLink(env, dut, peer)
+	dutPose, peerPose := talon.Pose{}, talon.Pose{Yaw: 180}
+	dutPose.Pos.Z, peerPose.Pos.Z = 1.2, 1.2
+	peerPose.Pos.X = 3
+	dut.SetPose(dutPose)
+	peer.SetPose(peerPose)
+	trainer, err := talon.NewTrainer(link, patterns, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trainer, link, dut, peer
+}
+
+// TestRunTracerOrdering drives a mutual Run with a recording tracer and
+// checks that the stage spans arrive well-formed and in pipeline order.
+func TestRunTracerOrdering(t *testing.T) {
+	trainer, _, dut, peer := buildTrainer(t, talon.AnechoicChamber(), talon.WithM(14), talon.WithSeed(9))
+	rec := &talon.TraceRecorder{}
+	res, err := trainer.Run(context.Background(), dut, peer, talon.Mutual(), talon.WithTracer(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SLS == nil {
+		t.Fatal("mutual run returned no SLS result")
+	}
+
+	events := rec.Events()
+	want := []struct{ name, phase string }{
+		{"trainer.run", "begin"},
+		{"trainer.sweep", "begin"},
+		{"trainer.sweep", "end"},
+		{"trainer.estimate", "begin"},
+		{"trainer.estimate", "end"},
+		{"trainer.force", "begin"},
+		{"trainer.force", "end"},
+		{"trainer.sls", "begin"},
+		{"trainer.sls", "end"},
+		{"trainer.run", "end"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("recorded %d events, want %d: %+v", len(events), len(want), events)
+	}
+	for i, w := range want {
+		if events[i].Name != w.name || events[i].Phase != w.phase {
+			t.Fatalf("event %d = %s/%s, want %s/%s", i, events[i].Name, events[i].Phase, w.name, w.phase)
+		}
+	}
+	// The run span carries the mode label.
+	labels := events[0].Labels
+	if len(labels) != 1 || labels[0].Key != "mode" || labels[0].Value != "mutual" {
+		t.Fatalf("trainer.run labels = %+v, want mode=mutual", labels)
+	}
+}
+
+// TestRunMatchesTrain checks that the delegating wrappers and Run draw
+// the same RNG stream: two trainers with identical seeds must make
+// identical choices whichever entry point is used.
+func TestRunMatchesTrain(t *testing.T) {
+	t1, _, dut1, peer1 := buildTrainer(t, talon.AnechoicChamber(), talon.WithM(14), talon.WithSeed(33))
+	t2, _, dut2, peer2 := buildTrainer(t, talon.AnechoicChamber(), talon.WithM(14), talon.WithSeed(33))
+
+	legacy, err := t1.Train(context.Background(), dut1, peer1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unified, err := t2.Run(context.Background(), dut2, peer2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Sector != unified.Sector {
+		t.Fatalf("Train chose %v, Run chose %v", legacy.Sector, unified.Sector)
+	}
+	if len(legacy.Probed) != len(unified.Probed) {
+		t.Fatalf("probe counts differ: %d vs %d", len(legacy.Probed), len(unified.Probed))
+	}
+	for i := range legacy.Probed {
+		if legacy.Probed[i] != unified.Probed[i] {
+			t.Fatalf("probe %d: %v vs %v", i, legacy.Probed[i], unified.Probed[i])
+		}
+	}
+	if unified.Backup != nil {
+		t.Fatal("plain Run populated Backup")
+	}
+}
+
+// TestRunWithBackup checks the WithBackup option populates the backup
+// selection the way TrainWithBackup reports it.
+func TestRunWithBackup(t *testing.T) {
+	trainer, _, dut, peer := buildTrainer(t, talon.ConferenceRoom(), talon.WithM(24), talon.WithSeed(4))
+	res, err := trainer.Run(context.Background(), dut, peer, talon.WithBackup(talon.DefaultBackupSeparationDeg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backup == nil {
+		t.Fatal("WithBackup run returned nil Backup")
+	}
+	if res.Backup.Primary.Sector != res.Sector {
+		t.Fatalf("primary %v != selection %v", res.Backup.Primary.Sector, res.Sector)
+	}
+	if res.SLS != nil {
+		t.Fatal("non-mutual run returned an SLS result")
+	}
+}

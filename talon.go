@@ -23,17 +23,25 @@
 //	link := talon.NewLink(talon.ConferenceRoom(), dut, peer)
 //	patterns, _ := talon.MeasurePatterns(ctx, dut, peer, talon.DefaultPatternGrid(), 3)
 //	trainer, _ := talon.NewTrainer(link, patterns, talon.WithM(14), talon.WithSeed(42))
-//	res, _ := trainer.Train(ctx, dut, peer)
+//	res, _ := trainer.Run(ctx, dut, peer)
 //	fmt.Println("transmit on sector", res.Sector)
+//
+// # Training
+//
+// Trainer.Run is the single training entry point; options extend the
+// round: Mutual adds the full sweep handshake, WithBackup extracts a
+// backup sector toward a secondary path, WithTracer observes the stages.
+// Train, TrainMutual and TrainWithBackup survive as thin wrappers over
+// Run with the corresponding options.
 //
 // # Cancellation
 //
-// Every long-running entry point — MeasurePatterns, Trainer.Train,
-// Trainer.TrainMutual, Trainer.TrainWithBackup, and the campaign drivers
-// in internal/eval — takes a context.Context as its first parameter and
-// returns ctx.Err() promptly when it is cancelled (checked between grid
-// points, probes and trials). Deprecated *NoContext wrappers keep the old
-// one-line call sites working.
+// Every long-running entry point — MeasurePatterns, Trainer.Run and its
+// Train* wrappers, and the campaign drivers in internal/eval — takes a
+// context.Context as its first parameter and returns ctx.Err() promptly
+// when it is cancelled (checked between grid points, probes and trials).
+// Deprecated *NoContext wrappers keep the old one-line call sites
+// working; they are scheduled for removal in the next major revision.
 //
 // # Construction
 //
@@ -167,7 +175,8 @@ func MeasurePatterns(ctx context.Context, dut, probe *Device, grid *Grid, repeat
 
 // MeasurePatternsNoContext is MeasurePatterns without cancellation.
 //
-// Deprecated: use MeasurePatterns with a context.
+// Deprecated: use MeasurePatterns with a context. Scheduled for removal
+// in the next major revision.
 func MeasurePatternsNoContext(dut, probe *Device, grid *Grid, repeats int) (*PatternSet, error) {
 	return MeasurePatterns(context.Background(), dut, probe, grid, repeats)
 }
@@ -203,6 +212,7 @@ type Trainer struct {
 	est  *Estimator
 	m    int
 	rng  *stats.RNG
+	runs int
 }
 
 // TrainerOption configures NewTrainer.
@@ -263,7 +273,8 @@ func NewTrainer(link *Link, patterns *PatternSet, opts ...TrainerOption) (*Train
 // NewTrainerLegacy builds a trainer from the pre-options positional
 // signature.
 //
-// Deprecated: use NewTrainer with WithM and WithSeed.
+// Deprecated: use NewTrainer with WithM and WithSeed. Scheduled for
+// removal in the next major revision.
 func NewTrainerLegacy(link *Link, patterns *PatternSet, m int, seed int64) (*Trainer, error) {
 	return NewTrainer(link, patterns, WithM(m), WithSeed(seed))
 }
@@ -289,36 +300,20 @@ func (t *Trainer) Estimator() *Estimator { return t.est }
 // the choice so subsequent sweeps feed it back. The context is observed
 // between the stages and inside the correlation grid search; a cancelled
 // training returns ctx.Err().
+//
+// Train is a thin wrapper over Run with no options.
 func (t *Trainer) Train(ctx context.Context, tx, rx *Device) (*TrainResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
+	res, err := t.Run(ctx, tx, rx)
 	if err != nil {
 		return nil, err
 	}
-	meas, err := t.link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
-	if err != nil {
-		return nil, err
-	}
-	sel, err := t.est.SelectSectorContext(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas))
-	if err != nil {
-		return nil, err
-	}
-	if rx.Firmware().OverrideEnabled() {
-		if err := rx.ForceSector(sel.Sector); err != nil {
-			return nil, err
-		}
-	}
-	return &TrainResult{Selection: sel, Sector: sel.Sector, Probed: probeSet.IDs()}, nil
+	return &res.TrainResult, nil
 }
 
 // TrainNoContext is Train without cancellation.
 //
-// Deprecated: use Train with a context.
+// Deprecated: use Run (or Train) with a context. Scheduled for removal
+// in the next major revision.
 func (t *Trainer) TrainNoContext(tx, rx *Device) (*TrainResult, error) {
 	return t.Train(context.Background(), tx, rx)
 }
@@ -327,29 +322,20 @@ func (t *Trainer) TrainNoContext(tx, rx *Device) (*TrainResult, error) {
 // probing subset inside one sector-level sweep, with the compressive
 // choice injected into the feedback fields through the firmware override.
 // The context is observed between the stages.
+//
+// TrainMutual is a thin wrapper over Run with the Mutual option.
 func (t *Trainer) TrainMutual(ctx context.Context, initiator, responder *Device) (*TrainResult, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	res, err := t.Train(ctx, initiator, responder)
+	res, err := t.Run(ctx, initiator, responder, Mutual())
 	if err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	slots := dot11ad.SubSweepSchedule(sector.NewSet(res.Probed...))
-	sls, err := t.link.RunSLS(initiator, responder, slots, slots)
-	if err != nil {
-		return nil, err
-	}
-	res.SLS = sls
-	return res, nil
+	return &res.TrainResult, nil
 }
 
 // TrainMutualNoContext is TrainMutual without cancellation.
 //
-// Deprecated: use TrainMutual with a context.
+// Deprecated: use Run with Mutual (or TrainMutual) with a context.
+// Scheduled for removal in the next major revision.
 func (t *Trainer) TrainMutualNoContext(initiator, responder *Device) (*TrainResult, error) {
 	return t.TrainMutual(context.Background(), initiator, responder)
 }
@@ -367,43 +353,32 @@ func MutualTrainingTime(m int) float64 {
 // sector toward a secondary propagation path.
 type BackupSelection = core.BackupSelection
 
+// DefaultBackupSeparationDeg is the minimum angular separation (degrees)
+// between primary and backup paths that TrainWithBackup requires — wide
+// enough that the backup survives a blockage of the primary.
+const DefaultBackupSeparationDeg = 18
+
 // TrainWithBackup selects tx's transmit sector toward rx and, when the
 // correlation surface exposes a distinct secondary path (e.g. a wall
 // reflection), also returns a backup sector: if the primary path gets
 // blocked, switching to the backup keeps the link alive without a new
 // training round. The context is observed between the stages and inside
 // the correlation searches.
+//
+// TrainWithBackup is a thin wrapper over Run with
+// WithBackup(DefaultBackupSeparationDeg).
 func (t *Trainer) TrainWithBackup(ctx context.Context, tx, rx *Device) (*TrainResult, BackupSelection, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, BackupSelection{}, err
-	}
-	probeSet, err := core.RandomProbes(t.rng, sector.TalonTX(), t.m)
+	res, err := t.Run(ctx, tx, rx, WithBackup(DefaultBackupSeparationDeg))
 	if err != nil {
 		return nil, BackupSelection{}, err
 	}
-	meas, err := t.link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
-	if err != nil {
-		return nil, BackupSelection{}, err
-	}
-	backup, err := t.est.SelectWithBackupContext(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas), 18)
-	if err != nil {
-		return nil, BackupSelection{}, err
-	}
-	res := &TrainResult{Selection: backup.Primary, Sector: backup.Primary.Sector, Probed: probeSet.IDs()}
-	if rx.Firmware().OverrideEnabled() {
-		if err := rx.ForceSector(res.Sector); err != nil {
-			return nil, BackupSelection{}, err
-		}
-	}
-	return res, backup, nil
+	return &res.TrainResult, *res.Backup, nil
 }
 
 // TrainWithBackupNoContext is TrainWithBackup without cancellation.
 //
-// Deprecated: use TrainWithBackup with a context.
+// Deprecated: use Run with WithBackup (or TrainWithBackup) with a
+// context. Scheduled for removal in the next major revision.
 func (t *Trainer) TrainWithBackupNoContext(tx, rx *Device) (*TrainResult, BackupSelection, error) {
 	return t.TrainWithBackup(context.Background(), tx, rx)
 }
