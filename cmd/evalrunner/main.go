@@ -22,8 +22,14 @@
 //	blockage   backup sectors from multipath estimation under LOS blockage
 //	density    dense-deployment channel-pollution study
 //	densify    codebook densification study (CSS scales, SSW does not)
+//	faultsweep resilient CSS under injected Gilbert–Elliott frame loss
 //	css        one end-to-end compressive training on the public API
 //	all        everything above
+//
+// Fault injection: -fault-rates sets the loss rates the faultsweep
+// experiment sweeps (comma-separated), -fault-burst the mean loss-burst
+// length in frames, -fault-trials the trials per rate and -fault-retries
+// the resilient trainer's retry budget.
 //
 // Observability: -metrics dumps the metrics registry as JSON on exit
 // ("-" = stdout), -debug serves /metrics and /debug/pprof while the
@@ -37,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"talon/internal/channel"
@@ -53,6 +61,11 @@ var (
 	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
 	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+
+	faultRates   = flag.String("fault-rates", "0,0.05,0.1,0.2", "faultsweep: comma-separated Gilbert–Elliott loss rates")
+	faultBurst   = flag.Float64("fault-burst", 4, "faultsweep: mean loss-burst length in frames")
+	faultTrials  = flag.Int("fault-trials", 0, "faultsweep: trials per loss rate (0 = fidelity default)")
+	faultRetries = flag.Int("fault-retries", 3, "faultsweep: CSS retry budget per training")
 )
 
 func main() {
@@ -150,6 +163,12 @@ func run(ctx context.Context) error {
 		return nil
 	case "densify":
 		return runDensify()
+	case "faultsweep":
+		study, err := runStudy(ctx, f)
+		if err != nil {
+			return err
+		}
+		return runFaultSweep(ctx, study)
 	case "css":
 		return runCSS(ctx)
 	case "all":
@@ -298,7 +317,59 @@ func runAll(ctx context.Context, f eval.Fidelity) error {
 		return err
 	}
 	fmt.Println()
+	if err := runFaultSweep(ctx, study); err != nil {
+		return err
+	}
+	fmt.Println()
 	return runCSS(ctx)
+}
+
+func runFaultSweep(ctx context.Context, study *eval.EnvironmentStudy) error {
+	rates, err := parseRates(*faultRates)
+	if err != nil {
+		return err
+	}
+	trials := *faultTrials
+	if trials <= 0 {
+		trials = 200
+		if *fidelity == "quick" {
+			trials = 50
+		}
+	}
+	r, err := eval.FaultSweep(ctx, study.Platform, eval.FaultSweepConfig{
+		LossRates: rates,
+		MeanBurst: *faultBurst,
+		Trials:    trials,
+		Retries:   *faultRetries,
+		Seed:      *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Format())
+	return nil
+}
+
+func parseRates(s string) ([]float64, error) {
+	var rates []float64
+	for _, field := range strings.Split(s, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -fault-rates entry %q: %w", field, err)
+		}
+		if v < 0 || v >= 1 {
+			return nil, fmt.Errorf("-fault-rates entry %v out of [0, 1)", v)
+		}
+		rates = append(rates, v)
+	}
+	if len(rates) == 0 {
+		return nil, fmt.Errorf("-fault-rates is empty")
+	}
+	return rates, nil
 }
 
 func runDensify() error {

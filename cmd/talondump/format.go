@@ -1,0 +1,39 @@
+package main
+
+import (
+	"encoding/json"
+
+	"talon/internal/dot11ad"
+	"talon/internal/sector"
+)
+
+// frameJSON is the -json line format. Sector fields use sector.ID's JSON
+// encoding ("RX" or the decimal number).
+type frameJSON struct {
+	Time     float64    `json:"t"`
+	Type     string     `json:"type"`
+	TA       string     `json:"ta"`
+	RA       string     `json:"ra"`
+	Sector   *sector.ID `json:"sector,omitempty"`
+	CDOWN    *uint16    `json:"cdown,omitempty"`
+	FbSector *sector.ID `json:"fb_sector,omitempty"`
+	FbSNRdB  *float64   `json:"fb_snr_db,omitempty"`
+}
+
+// frameJSONLine renders one captured frame as the -json line (without
+// trailing newline). Factored out of the printing path so the output
+// shape is testable against a golden file.
+func frameJSONLine(ts float64, f *dot11ad.Frame) ([]byte, error) {
+	rec := frameJSON{Time: ts, Type: f.Type.String(), TA: f.TA.String(), RA: f.RA.String()}
+	switch f.Type {
+	case dot11ad.TypeDMGBeacon, dot11ad.TypeSSW:
+		sec, cd := f.SSW.SectorID, f.SSW.CDOWN
+		rec.Sector, rec.CDOWN = &sec, &cd
+	}
+	switch f.Type {
+	case dot11ad.TypeSSW, dot11ad.TypeSSWFeedback, dot11ad.TypeSSWAck:
+		fb, snr := f.Feedback.SectorSelect, dot11ad.DecodeSNR(f.Feedback.SNRReport)
+		rec.FbSector, rec.FbSNRdB = &fb, &snr
+	}
+	return json.Marshal(rec)
+}

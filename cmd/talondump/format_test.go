@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"talon/internal/dot11ad"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestFrameJSONGolden pins the -json output shape: one line per frame
+// type, compared byte-for-byte against testdata/frames.golden. Field
+// renames or reordering in the JSON schema are breaking changes for
+// downstream consumers and must show up in review as a golden diff.
+func TestFrameJSONGolden(t *testing.T) {
+	ap := dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x01}
+	sta := dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x02}
+	frames := []struct {
+		ts float64
+		f  *dot11ad.Frame
+	}{
+		{0.000128, &dot11ad.Frame{Type: dot11ad.TypeDMGBeacon, TA: ap, RA: dot11ad.MACAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+			SSW: dot11ad.SSWField{SectorID: 31, CDOWN: 34}, BeaconIntervalTU: 1024}},
+		{0.001250, dot11ad.NewSSWFrame(ap, sta, dot11ad.DirectionResponder, 12, 5,
+			dot11ad.SSWFeedbackField{SectorSelect: 61, SNRReport: 128})},
+		{0.002375, &dot11ad.Frame{Type: dot11ad.TypeSSWFeedback, TA: ap, RA: sta,
+			Feedback: dot11ad.SSWFeedbackField{SectorSelect: 12, SNRReport: 96}}},
+		{0.003500, &dot11ad.Frame{Type: dot11ad.TypeSSWAck, TA: sta, RA: ap,
+			Feedback: dot11ad.SSWFeedbackField{SectorSelect: 0, SNRReport: 0}}},
+	}
+
+	var buf bytes.Buffer
+	for _, fr := range frames {
+		line, err := frameJSONLine(fr.ts, fr.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+
+	golden := filepath.Join("testdata", "frames.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output changed (run with -update if intended):\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+}

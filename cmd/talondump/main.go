@@ -9,7 +9,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +17,6 @@ import (
 	"talon/internal/dot11ad"
 	"talon/internal/geom"
 	"talon/internal/pcap"
-	"talon/internal/sector"
 	"talon/internal/wil"
 )
 
@@ -138,32 +136,8 @@ func capture() error {
 	return nil
 }
 
-// frameJSON is the -json line format. Sector fields use sector.ID's JSON
-// encoding ("RX" or the decimal number).
-type frameJSON struct {
-	Time     float64    `json:"t"`
-	Type     string     `json:"type"`
-	TA       string     `json:"ta"`
-	RA       string     `json:"ra"`
-	Sector   *sector.ID `json:"sector,omitempty"`
-	CDOWN    *uint16    `json:"cdown,omitempty"`
-	FbSector *sector.ID `json:"fb_sector,omitempty"`
-	FbSNRdB  *float64   `json:"fb_snr_db,omitempty"`
-}
-
 func printFrameJSON(ts float64, f *dot11ad.Frame) {
-	rec := frameJSON{Time: ts, Type: f.Type.String(), TA: f.TA.String(), RA: f.RA.String()}
-	switch f.Type {
-	case dot11ad.TypeDMGBeacon, dot11ad.TypeSSW:
-		sec, cd := f.SSW.SectorID, f.SSW.CDOWN
-		rec.Sector, rec.CDOWN = &sec, &cd
-	}
-	switch f.Type {
-	case dot11ad.TypeSSW, dot11ad.TypeSSWFeedback, dot11ad.TypeSSWAck:
-		fb, snr := f.Feedback.SectorSelect, dot11ad.DecodeSNR(f.Feedback.SNRReport)
-		rec.FbSector, rec.FbSNRdB = &fb, &snr
-	}
-	b, err := json.Marshal(rec)
+	b, err := frameJSONLine(ts, f)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "talondump: json:", err)
 		return

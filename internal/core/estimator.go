@@ -370,7 +370,37 @@ type Selection struct {
 	// Fallback marks selections that did not trust the angle estimate
 	// and used the probed-sector argmax instead.
 	Fallback bool
+	// Degraded marks selections produced by the resilient training path
+	// after the compressive rounds were exhausted: the trainer gave up
+	// on CSS and ran the standard full sector sweep (the paper's
+	// baseline) instead.
+	Degraded bool
+	// FallbackReason classifies why a degraded selection abandoned CSS;
+	// FallbackNone for selections that did not degrade.
+	FallbackReason FallbackReason
 }
+
+// FallbackReason classifies why a resilient training run degraded to the
+// full-sweep baseline.
+type FallbackReason string
+
+// The failure classes the resilient trainer distinguishes.
+const (
+	// FallbackNone marks a selection that did not degrade.
+	FallbackNone FallbackReason = ""
+	// FallbackTooFewProbes: every retry lost too many probes to the
+	// channel for a usable measurement vector.
+	FallbackTooFewProbes FallbackReason = "too-few-probes"
+	// FallbackDegenerateSurface: the correlation surface carried no
+	// directional information on every retry.
+	FallbackDegenerateSurface FallbackReason = "degenerate-surface"
+	// FallbackSNRCheck: the post-selection verification probe stayed
+	// below the required SNR on every retry.
+	FallbackSNRCheck FallbackReason = "snr-check"
+	// FallbackTransientFault: an injected transient fault (e.g. a WMI
+	// mailbox timeout) persisted across every retry.
+	FallbackTransientFault FallbackReason = "transient-fault"
+)
 
 // SelectSector runs the full CSS pipeline: estimate the angle of arrival
 // from the probes and choose the best of all N sectors toward it (Eq. 4).

@@ -43,6 +43,9 @@ func (p Probe) MarshalJSON() ([]byte, error) {
 // selection, "sector 18 (sweep fallback)" for one that degraded to the
 // probed-sector argmax.
 func (s Selection) String() string {
+	if s.Degraded {
+		return fmt.Sprintf("sector %s (full-sweep fallback: %s)", s.Sector, s.FallbackReason)
+	}
 	if s.Fallback {
 		return fmt.Sprintf("sector %s (sweep fallback)", s.Sector)
 	}
@@ -56,6 +59,8 @@ func (s Selection) String() string {
 type selectionJSON struct {
 	Sector   string   `json:"sector"`
 	Fallback bool     `json:"fallback"`
+	Degraded bool     `json:"degraded,omitempty"`
+	Reason   string   `json:"fallback_reason,omitempty"`
 	Gain     *float64 `json:"gain_db,omitempty"`
 	Az       *float64 `json:"aoa_az_deg,omitempty"`
 	El       *float64 `json:"aoa_el_deg,omitempty"`
@@ -65,7 +70,12 @@ type selectionJSON struct {
 // MarshalJSON encodes the selection with the sector in String form;
 // estimate details appear only when the selection trusted an estimate.
 func (s Selection) MarshalJSON() ([]byte, error) {
-	out := selectionJSON{Sector: s.Sector.String(), Fallback: s.Fallback}
+	out := selectionJSON{
+		Sector:   s.Sector.String(),
+		Fallback: s.Fallback,
+		Degraded: s.Degraded,
+		Reason:   string(s.FallbackReason),
+	}
 	if !s.Fallback && !math.IsNaN(s.Gain) {
 		gain, az, el, corr := s.Gain, s.AoA.Az, s.AoA.El, s.AoA.Corr
 		out.Gain, out.Az, out.El, out.Corr = &gain, &az, &el, &corr

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// Property tests of the CSS invariants (table-driven over seeds): the
+// selection must not depend on probe order, and with more than the
+// minimum probes it must survive any single dropped probe.
+
+// propSetup builds an estimator over the synthetic codebook and one
+// probed measurement vector for the given seed.
+func propSetup(t *testing.T, seed int64, m int) (*Estimator, []Probe) {
+	t.Helper()
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(seed)
+	probeSet, err := RandomProbes(rng, sector.TalonTX(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	az := -60 + 120*rng.Float64()
+	el := 25 * rng.Float64()
+	probes := observe(t, gain, probeSet.IDs(), az, el, quietModel(), rng.Split("observe"))
+	return est, probes
+}
+
+// permute returns a deterministic shuffle of probes.
+func permute(probes []Probe, rng *stats.RNG) []Probe {
+	out := append([]Probe(nil), probes...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func TestSelectionInvariantUnderProbePermutation(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		est, probes := propSetup(t, seed, 14)
+		base, err := est.SelectSector(probes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		shuffler := stats.NewRNG(seed).Split("shuffle")
+		for round := 0; round < 5; round++ {
+			sel, err := est.SelectSector(permute(probes, shuffler))
+			if err != nil {
+				t.Fatalf("seed %d round %d: %v", seed, round, err)
+			}
+			if sel.Sector != base.Sector || sel.Fallback != base.Fallback {
+				t.Fatalf("seed %d round %d: permutation changed the selection: %v -> %v",
+					seed, round, base, sel)
+			}
+		}
+	}
+}
+
+func TestSelectionSurvivesAnySingleDroppedProbe(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		est, probes := propSetup(t, seed, 14)
+		if _, err := est.SelectSector(probes); err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+		for drop := range probes {
+			maimed := append([]Probe(nil), probes...)
+			maimed[drop].OK = false
+			sel, err := est.SelectSector(maimed)
+			if err != nil {
+				t.Fatalf("seed %d: dropping probe %d (%v) broke selection: %v",
+					seed, drop, probes[drop].Sector, err)
+			}
+			if !sel.Sector.Valid() {
+				t.Fatalf("seed %d: dropping probe %d yielded invalid sector %v",
+					seed, drop, sel.Sector)
+			}
+		}
+	}
+}
+
+// TestSelectionAtMinimumProbes pins the boundary: with exactly two
+// reported probes selection still works, and below that it returns
+// ErrTooFewProbes.
+func TestSelectionAtMinimumProbes(t *testing.T) {
+	est, probes := propSetup(t, 7, 14)
+	two := append([]Probe(nil), probes[:2]...)
+	if _, err := est.SelectSector(two); err != nil {
+		t.Fatalf("two probes must select (internal fallback allowed): %v", err)
+	}
+	none := append([]Probe(nil), probes...)
+	for i := range none {
+		none[i].OK = false
+	}
+	_, err := est.SelectSector(none)
+	if !errors.Is(err, ErrTooFewProbes) {
+		t.Fatalf("all-missed vector: err = %v, want ErrTooFewProbes", err)
+	}
+}

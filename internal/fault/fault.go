@@ -1,0 +1,214 @@
+// Package fault is the deterministic impairment layer of the simulated
+// testbed: a set of composable, seedable fault injectors that hook into
+// the frame pipeline of wil.Link and the record/WMI paths of
+// wil.Firmware. Everything the 60 GHz channel and the QCA9500 platform
+// do to sabotage sector training — bursty SSW frame loss, biased and
+// drifting RSSI readings, stale feedback fields, ring-buffer drop storms,
+// transient WMI command failures — is modelled here so that the resilient
+// training path (retry, backoff, full-sweep fallback) can be exercised
+// and evaluated reproducibly from a seed.
+//
+// The hook is the Injector interface. wil.Link.SetInjector installs one
+// on a link and mirrors it into both devices' firmware; a nil injector is
+// a strict no-op and leaves the unimpaired RNG streams untouched, so
+// fault-free runs stay bit-identical to a build without this package.
+//
+// Injectors carry per-link state (Markov loss channels, drift clocks,
+// stale-feedback memory) and, like wil.Link itself, are not safe for
+// concurrent use; give every link its own injector instance.
+package fault
+
+import (
+	"errors"
+	"time"
+
+	"talon/internal/dot11ad"
+	"talon/internal/radio"
+	"talon/internal/sector"
+)
+
+// ErrInjected is the sentinel wrapped by every error this layer
+// fabricates (today: transient WMI command failures). Callers classify
+// such failures as retryable with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// FrameEvent describes one frame delivery attempt the injector is
+// consulted about: the endpoints by device name, the transmit sector, the
+// link's virtual clock at transmission time and a per-link monotonically
+// increasing frame sequence number.
+type FrameEvent struct {
+	// TX and RX are the device names of the transmitter and the receiver
+	// being impaired (a sniffer's name on the capture path).
+	TX, RX string
+	// Sector is the transmit sector of the frame.
+	Sector sector.ID
+	// Time is the link's virtual clock when the frame went on the air.
+	Time time.Duration
+	// Seq counts frames put on the air by the link, starting at 0.
+	Seq uint64
+}
+
+// Injector is the impairment hook consulted by wil.Link (frames and
+// measurements) and wil.Firmware (ring records and WMI commands). Embed
+// Nop to implement only the hooks an impairment needs.
+type Injector interface {
+	// DropFrame reports whether this frame delivery is lost before the
+	// receiver's measurement model even sees it (frame-loss channels).
+	DropFrame(ev FrameEvent) bool
+	// PerturbMeasurement rewrites a successful measurement (bias, drift)
+	// and returns the reading the firmware will report.
+	PerturbMeasurement(ev FrameEvent, m radio.Measurement) radio.Measurement
+	// CorruptFrame mutates a decoded frame in flight (stale feedback
+	// fields, flipped selections) before the receiver processes it.
+	CorruptFrame(ev FrameEvent, f *dot11ad.Frame)
+	// DropRecord reports whether the firmware loses the measurement
+	// record of a received SSW frame (ring-buffer drop storms).
+	DropRecord() bool
+	// WMIError returns a non-nil error when the WMI command should fail
+	// transiently. Returned errors must wrap ErrInjected.
+	WMIError(cmd uint16) error
+}
+
+// Nop implements Injector with no impairments; embed it to override only
+// selected hooks.
+type Nop struct{}
+
+// DropFrame never drops.
+func (Nop) DropFrame(FrameEvent) bool { return false }
+
+// PerturbMeasurement returns m unchanged.
+func (Nop) PerturbMeasurement(_ FrameEvent, m radio.Measurement) radio.Measurement { return m }
+
+// CorruptFrame leaves the frame alone.
+func (Nop) CorruptFrame(FrameEvent, *dot11ad.Frame) {}
+
+// DropRecord never drops.
+func (Nop) DropRecord() bool { return false }
+
+// WMIError never fails.
+func (Nop) WMIError(uint16) error { return nil }
+
+// Chain composes injectors: a frame is dropped when any member drops it,
+// measurements pass through every member in order, every member may
+// corrupt the frame, a record is dropped when any member drops it, and
+// the first WMI error wins. Every member is always consulted so stateful
+// channels (Gilbert–Elliott, drift) advance deterministically regardless
+// of the other members' decisions.
+type Chain []Injector
+
+// DropFrame implements Injector.
+func (c Chain) DropFrame(ev FrameEvent) bool {
+	dropped := false
+	for _, inj := range c {
+		if inj.DropFrame(ev) {
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// PerturbMeasurement implements Injector.
+func (c Chain) PerturbMeasurement(ev FrameEvent, m radio.Measurement) radio.Measurement {
+	for _, inj := range c {
+		m = inj.PerturbMeasurement(ev, m)
+	}
+	return m
+}
+
+// CorruptFrame implements Injector.
+func (c Chain) CorruptFrame(ev FrameEvent, f *dot11ad.Frame) {
+	for _, inj := range c {
+		inj.CorruptFrame(ev, f)
+	}
+}
+
+// DropRecord implements Injector.
+func (c Chain) DropRecord() bool {
+	dropped := false
+	for _, inj := range c {
+		if inj.DropRecord() {
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// WMIError implements Injector.
+func (c Chain) WMIError(cmd uint16) error {
+	var first error
+	for _, inj := range c {
+		if err := inj.WMIError(cmd); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// The Apply* helpers are the call sites wil uses: they tolerate a nil
+// injector (strict pass-through, no counting) and keep the impairment
+// hit-rate metrics consistent no matter which injector is installed.
+
+// ApplyFrame consults inj about one frame delivery and counts the
+// outcome. It reports whether the frame is lost.
+func ApplyFrame(inj Injector, ev FrameEvent) bool {
+	if inj == nil {
+		return false
+	}
+	metFramesSeen.Inc()
+	if inj.DropFrame(ev) {
+		metFrameDrops.Inc()
+		return true
+	}
+	return false
+}
+
+// ApplyMeasurement runs m through inj and counts perturbed readings.
+func ApplyMeasurement(inj Injector, ev FrameEvent, m radio.Measurement) radio.Measurement {
+	if inj == nil {
+		return m
+	}
+	out := inj.PerturbMeasurement(ev, m)
+	if out != m {
+		metMeasPerturbed.Inc()
+	}
+	return out
+}
+
+// ApplyFrameCorruption lets inj mutate the decoded frame and counts
+// corrupted frames.
+func ApplyFrameCorruption(inj Injector, ev FrameEvent, f *dot11ad.Frame) {
+	if inj == nil || f == nil {
+		return
+	}
+	before := *f
+	inj.CorruptFrame(ev, f)
+	if *f != before {
+		metFrameCorruptions.Inc()
+	}
+}
+
+// ApplyRecord consults inj about one firmware measurement record and
+// counts drops. It reports whether the record is lost.
+func ApplyRecord(inj Injector) bool {
+	if inj == nil {
+		return false
+	}
+	if inj.DropRecord() {
+		metRecordDrops.Inc()
+		return true
+	}
+	return false
+}
+
+// ApplyWMI consults inj about one WMI command and counts injected
+// failures.
+func ApplyWMI(inj Injector, cmd uint16) error {
+	if inj == nil {
+		return nil
+	}
+	err := inj.WMIError(cmd)
+	if err != nil {
+		metWMIFailures.Inc()
+	}
+	return err
+}

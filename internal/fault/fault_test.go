@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"talon/internal/dot11ad"
+	"talon/internal/radio"
+)
+
+func TestBernoulliDeterministicAndCalibrated(t *testing.T) {
+	const n = 20000
+	a, b := NewBernoulli(0.3, 7), NewBernoulli(0.3, 7)
+	drops := 0
+	for i := 0; i < n; i++ {
+		da, db := a.DropFrame(FrameEvent{}), b.DropFrame(FrameEvent{})
+		if da != db {
+			t.Fatalf("same seed diverged at frame %d", i)
+		}
+		if da {
+			drops++
+		}
+	}
+	if rate := float64(drops) / n; math.Abs(rate-0.3) > 0.02 {
+		t.Fatalf("realized loss rate %.3f, want ~0.30", rate)
+	}
+}
+
+func TestGilbertElliottLossRateAndBursts(t *testing.T) {
+	const n = 200000
+	for _, target := range []float64{0.05, 0.1, 0.2} {
+		g := NewGilbertElliott(GEFromLossRate(target, 4), 11)
+		drops, bursts, inBurst := 0, 0, false
+		for i := 0; i < n; i++ {
+			if g.DropFrame(FrameEvent{}) {
+				drops++
+				if !inBurst {
+					bursts++
+				}
+				inBurst = true
+			} else {
+				inBurst = false
+			}
+		}
+		rate := float64(drops) / n
+		if math.Abs(rate-target) > target/3 {
+			t.Fatalf("target %.2f: realized loss rate %.3f", target, rate)
+		}
+		if bursts == 0 {
+			t.Fatalf("target %.2f: no bursts observed", target)
+		}
+		// Losses must cluster: mean burst length well above 1 frame.
+		if mean := float64(drops) / float64(bursts); mean < 2 {
+			t.Fatalf("target %.2f: mean burst %.2f frames, want bursty (>= 2)", target, mean)
+		}
+	}
+}
+
+func TestGEFromLossRateClamps(t *testing.T) {
+	cfg := GEFromLossRate(2.0, 0.1)
+	if cfg.PGoodToBad > 1 || cfg.PBadToGood != 1 {
+		t.Fatalf("clamped config out of range: %+v", cfg)
+	}
+	zero := GEFromLossRate(0, 4)
+	if zero.PGoodToBad != 0 {
+		t.Fatalf("zero rate must never enter the bad state, got %+v", zero)
+	}
+}
+
+func TestRSSIBiasAndDrift(t *testing.T) {
+	m := radio.Measurement{SNR: 5, RSSI: -60}
+	got := RSSIBias{BiasDB: 2}.PerturbMeasurement(FrameEvent{}, m)
+	if got.RSSI != -58 || got.SNR != 5 {
+		t.Fatalf("bias: got %+v", got)
+	}
+	ev := FrameEvent{Time: 10 * time.Second}
+	got = RSSIDrift{RateDBPerSec: 0.5}.PerturbMeasurement(ev, m)
+	if got.RSSI != -55 {
+		t.Fatalf("drift: RSSI = %v, want -55", got.RSSI)
+	}
+}
+
+func TestStaleFeedbackReplaysPreviousField(t *testing.T) {
+	s := NewStaleFeedback(1, 3) // always fire once armed
+	first := &dot11ad.Frame{Type: dot11ad.TypeSSW, Feedback: dot11ad.SSWFeedbackField{SectorSelect: 7}}
+	s.CorruptFrame(FrameEvent{}, first)
+	if first.Feedback.SectorSelect != 7 {
+		t.Fatalf("first frame corrupted before any feedback was seen: %+v", first.Feedback)
+	}
+	second := &dot11ad.Frame{Type: dot11ad.TypeSSW, Feedback: dot11ad.SSWFeedbackField{SectorSelect: 12}}
+	s.CorruptFrame(FrameEvent{}, second)
+	if second.Feedback.SectorSelect != 7 {
+		t.Fatalf("second frame kept fresh feedback %v, want stale 7", second.Feedback.SectorSelect)
+	}
+	// The remembered field is the fresh one, not the replayed one.
+	third := &dot11ad.Frame{Type: dot11ad.TypeSSW, Feedback: dot11ad.SSWFeedbackField{SectorSelect: 20}}
+	s.CorruptFrame(FrameEvent{}, third)
+	if third.Feedback.SectorSelect != 12 {
+		t.Fatalf("third frame got %v, want previous fresh value 12", third.Feedback.SectorSelect)
+	}
+	// Beacons carry no feedback and are left alone.
+	beacon := &dot11ad.Frame{Type: dot11ad.TypeDMGBeacon}
+	s.CorruptFrame(FrameEvent{}, beacon)
+	if beacon.Feedback != (dot11ad.SSWFeedbackField{}) {
+		t.Fatalf("beacon corrupted: %+v", beacon.Feedback)
+	}
+}
+
+func TestRecordStormPattern(t *testing.T) {
+	r := &RecordStorm{Period: 8, Burst: 2}
+	for i := 0; i < 32; i++ {
+		want := i%8 < 2
+		if got := r.DropRecord(); got != want {
+			t.Fatalf("record %d: drop = %v, want %v", i, got, want)
+		}
+	}
+	disabled := &RecordStorm{}
+	if disabled.DropRecord() {
+		t.Fatal("zero-valued storm must not drop")
+	}
+}
+
+func TestWMIFlakeWrapsSentinel(t *testing.T) {
+	w := NewWMIFlake(1, 5)
+	err := w.WMIError(0x9a1)
+	if err == nil || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want wrap of ErrInjected", err)
+	}
+	if NewWMIFlake(0, 5).WMIError(0x9a1) != nil {
+		t.Fatal("p=0 must never fail")
+	}
+}
+
+// chainProbe records which hooks were consulted.
+type chainProbe struct {
+	Nop
+	frames, records int
+}
+
+func (c *chainProbe) DropFrame(FrameEvent) bool { c.frames++; return false }
+func (c *chainProbe) DropRecord() bool          { c.records++; return false }
+
+func TestChainConsultsEveryMember(t *testing.T) {
+	p1, p2 := &chainProbe{}, &chainProbe{}
+	ch := Chain{p1, NewBernoulli(1, 1), p2}
+	if !ch.DropFrame(FrameEvent{}) {
+		t.Fatal("chain with certain loss did not drop")
+	}
+	if p1.frames != 1 || p2.frames != 1 {
+		t.Fatalf("members after the dropping one not consulted: %d/%d", p1.frames, p2.frames)
+	}
+	if ch.DropRecord() {
+		t.Fatal("no member drops records")
+	}
+	if p1.records != 1 || p2.records != 1 {
+		t.Fatalf("record hooks not consulted: %d/%d", p1.records, p2.records)
+	}
+	m := radio.Measurement{SNR: 3, RSSI: -62}
+	got := Chain{RSSIBias{BiasDB: 1}, RSSIBias{BiasDB: 2}}.PerturbMeasurement(FrameEvent{}, m)
+	if got.RSSI != -59 {
+		t.Fatalf("chained bias RSSI = %v, want -59", got.RSSI)
+	}
+}
+
+func TestApplyHelpersTolerateNil(t *testing.T) {
+	if ApplyFrame(nil, FrameEvent{}) {
+		t.Fatal("nil injector dropped a frame")
+	}
+	m := radio.Measurement{SNR: 1, RSSI: -70}
+	if got := ApplyMeasurement(nil, FrameEvent{}, m); got != m {
+		t.Fatalf("nil injector changed a measurement: %+v", got)
+	}
+	f := &dot11ad.Frame{Type: dot11ad.TypeSSW}
+	ApplyFrameCorruption(nil, FrameEvent{}, f)
+	if ApplyRecord(nil) {
+		t.Fatal("nil injector dropped a record")
+	}
+	if err := ApplyWMI(nil, 1); err != nil {
+		t.Fatalf("nil injector failed WMI: %v", err)
+	}
+}
+
+func TestApplyCountsHitRates(t *testing.T) {
+	seen0, drops0 := metFramesSeen.Value(), metFrameDrops.Value()
+	inj := NewBernoulli(1, 1)
+	if !ApplyFrame(inj, FrameEvent{}) {
+		t.Fatal("certain loss did not drop")
+	}
+	if metFramesSeen.Value()-seen0 != 1 || metFrameDrops.Value()-drops0 != 1 {
+		t.Fatal("frame counters did not tick")
+	}
+	pert0 := metMeasPerturbed.Value()
+	ApplyMeasurement(RSSIBias{BiasDB: 1}, FrameEvent{}, radio.Measurement{})
+	ApplyMeasurement(RSSIBias{}, FrameEvent{}, radio.Measurement{}) // unchanged: no tick
+	if metMeasPerturbed.Value()-pert0 != 1 {
+		t.Fatal("perturbed counter must tick only on changed measurements")
+	}
+	wmi0 := metWMIFailures.Value()
+	if err := ApplyWMI(NewWMIFlake(1, 2), 0x9a1); err == nil {
+		t.Fatal("certain flake did not fail")
+	}
+	if metWMIFailures.Value()-wmi0 != 1 {
+		t.Fatal("WMI failure counter did not tick")
+	}
+}
+
+func TestStandard60GHzDeterministic(t *testing.T) {
+	a, b := Standard60GHz(0.2, 4, 9), Standard60GHz(0.2, 4, 9)
+	ev := FrameEvent{Time: time.Second}
+	for i := 0; i < 5000; i++ {
+		if a.DropFrame(ev) != b.DropFrame(ev) {
+			t.Fatalf("preset diverged at frame %d", i)
+		}
+		if a.DropRecord() != b.DropRecord() {
+			t.Fatalf("preset record path diverged at %d", i)
+		}
+		ea, eb := a.WMIError(1), b.WMIError(1)
+		if (ea == nil) != (eb == nil) {
+			t.Fatalf("preset WMI path diverged at %d", i)
+		}
+	}
+}

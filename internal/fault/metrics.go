@@ -1,0 +1,22 @@
+package fault
+
+import "talon/internal/obs"
+
+// Impairment hit-rate metrics (see README, "Observability"). The
+// seen/drop pair yields the realized frame-loss rate of an experiment;
+// the remaining counters tick once per impaired measurement, frame,
+// record or WMI command.
+var (
+	metFramesSeen = obs.NewCounter("fault_frames_seen_total",
+		"frame deliveries evaluated by an installed fault injector")
+	metFrameDrops = obs.NewCounter("fault_frame_drops_total",
+		"frame deliveries lost to injected frame-loss channels")
+	metMeasPerturbed = obs.NewCounter("fault_measurements_perturbed_total",
+		"measurements rewritten by injected bias or drift")
+	metFrameCorruptions = obs.NewCounter("fault_frames_corrupted_total",
+		"decoded frames mutated in flight (stale feedback and the like)")
+	metRecordDrops = obs.NewCounter("fault_record_drops_total",
+		"firmware measurement records lost to injected drop storms")
+	metWMIFailures = obs.NewCounter("fault_wmi_failures_total",
+		"WMI commands failed by injected transient faults")
+)

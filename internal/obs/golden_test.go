@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestSnapshotJSONGolden pins the metrics-JSON schema: a fresh registry
+// with one metric of each kind, deterministic values, compared
+// byte-for-byte (after indentation) against testdata/snapshot.golden.
+// The snapshot format is consumed by evalrunner -metrics and the /metrics
+// debug endpoint; shape changes must surface as a golden diff.
+func TestSnapshotJSONGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("demo_frames_total", "frames processed")
+	c.Add(42)
+	g := r.NewGauge("demo_ring_occupancy", "ring slots in use")
+	g.Set(17)
+	fg := r.NewFloatGauge("demo_utilization", "busy fraction")
+	fg.Set(0.75)
+	h := r.NewHistogram("demo_train_seconds", "training latency", []float64{0.001, 0.01, 0.1, 1})
+	for _, v := range []float64{0.0005, 0.004, 0.04, 0.4, 2} {
+		h.Observe(v)
+	}
+
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte('\n')
+
+	golden := filepath.Join("testdata", "snapshot.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("snapshot JSON changed (run with -update if intended):\ngot:\n%swant:\n%s", buf.Bytes(), want)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"talon/internal/dot11ad"
+	"talon/internal/fault"
 	"talon/internal/nexmon"
 	"talon/internal/radio"
 	"talon/internal/sector"
@@ -80,6 +81,10 @@ type Firmware struct {
 	// keyed by the peer's sector — the stock algorithm's working state.
 	sweep map[sector.ID]radio.Measurement
 	seq   uint32
+
+	// inj is the installed impairment layer (nil = unimpaired),
+	// consulted for record drop storms and transient WMI failures.
+	inj fault.Injector
 }
 
 // NewFirmware boots a stock firmware image.
@@ -91,6 +96,11 @@ func NewFirmware() *Firmware {
 		sweep: make(map[sector.ID]radio.Measurement),
 	}
 }
+
+// SetInjector installs inj as the firmware's fault injector (nil
+// clears). Link.SetInjector mirrors its injector here; set one directly
+// only for firmware-level experiments without a link.
+func (f *Firmware) SetInjector(inj fault.Injector) { f.inj = inj }
 
 // Memory exposes the chip memory (the host's mmap view).
 func (f *Firmware) Memory() *nexmon.Memory { return f.mem }
@@ -137,6 +147,11 @@ func (f *Firmware) BeginRXSweep() {
 // sector: the stock path updates the per-sector measurement table; the
 // dump patch additionally appends a ring-buffer record.
 func (f *Firmware) RecordSSW(sec sector.ID, cdown uint16, m radio.Measurement) {
+	if fault.ApplyRecord(f.inj) {
+		// A drop storm loses the frame's measurement entirely: neither
+		// the stock sweep table nor the host-readable ring sees it.
+		return
+	}
 	f.sweep[sec] = m
 	if !f.SweepDumpEnabled() {
 		return

@@ -7,6 +7,7 @@ import (
 
 	"talon/internal/channel"
 	"talon/internal/dot11ad"
+	"talon/internal/fault"
 	"talon/internal/radio"
 	"talon/internal/sector"
 )
@@ -23,6 +24,11 @@ type Link struct {
 
 	sniffers []*Sniffer
 	clock    time.Duration
+
+	// injector is the installed impairment layer (nil = unimpaired);
+	// frameSeq numbers the frames put on the air for its FrameEvents.
+	injector fault.Injector
+	frameSeq uint64
 }
 
 // NewLink connects a and b in env with the default budget.
@@ -34,21 +40,62 @@ func NewLink(env *channel.Environment, a, b *Device) *Link {
 // transmission so far.
 func (l *Link) Now() time.Duration { return l.clock }
 
-// transmit advances the virtual clock by the frame's airtime and offers
-// the transmission to every attached sniffer.
-func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time.Duration) {
+// Wait advances the virtual clock without transmitting — the backoff
+// pause of a resilient trainer between retry attempts. Negative
+// durations are ignored.
+func (l *Link) Wait(d time.Duration) {
+	if d > 0 {
+		l.clock += d
+	}
+}
+
+// SetInjector installs inj as the link's fault injector and mirrors it
+// into both devices' firmware, so frame, measurement, record and WMI
+// impairments all draw from the same layer. nil clears. The injector
+// carries per-link state; do not share one across links.
+func (l *Link) SetInjector(inj fault.Injector) {
+	l.injector = inj
+	if l.A != nil {
+		l.A.Firmware().SetInjector(inj)
+	}
+	if l.B != nil {
+		l.B.Firmware().SetInjector(inj)
+	}
+}
+
+// Injector returns the installed fault injector (nil when unimpaired).
+func (l *Link) Injector() fault.Injector { return l.injector }
+
+// frameEvent assembles the injector's view of one delivery attempt.
+func (l *Link) frameEvent(tx, rx string, txSector sector.ID, seq uint64) fault.FrameEvent {
+	return fault.FrameEvent{TX: tx, RX: rx, Sector: txSector, Time: l.clock, Seq: seq}
+}
+
+// transmit advances the virtual clock by the frame's airtime, offers the
+// transmission to every attached sniffer and returns the frame's sequence
+// number for injector events.
+func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time.Duration) uint64 {
 	metFramesInjected.Inc()
+	seq := l.frameSeq
+	l.frameSeq++
 	l.clock += airtime
 	if len(l.sniffers) == 0 {
-		return
+		return seq
 	}
 	txGain, err := tx.TXGain(txSector)
 	if err != nil {
-		return
+		// An unknown transmit sector radiates nothing; the sniffers'
+		// capture is lost.
+		metFramesDropped.Inc()
+		return seq
 	}
 	for _, s := range l.sniffers {
 		if s.dev == tx {
 			continue // half duplex: a device cannot capture itself
+		}
+		ev := l.frameEvent(tx.Name(), s.dev.Name(), txSector, seq)
+		if fault.ApplyFrame(l.injector, ev) {
+			continue
 		}
 		snr := radio.TrueSNR(l.Env, tx.Pose(), s.dev.Pose(), txGain, s.dev.RXGain(), l.Budget)
 		meas, ok := s.dev.Model().Observe(snr, s.dev.MeasRNG())
@@ -59,6 +106,8 @@ func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time
 		if err != nil {
 			continue
 		}
+		meas = fault.ApplyMeasurement(l.injector, ev, meas)
+		fault.ApplyFrameCorruption(l.injector, ev, frame)
 		s.captures = append(s.captures, Capture{
 			Time:  l.clock,
 			Raw:   append([]byte(nil), raw...),
@@ -66,6 +115,7 @@ func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time
 			Meas:  meas,
 		})
 	}
+	return seq
 }
 
 // Deliver transmits raw from tx on txSector and attempts reception at rx
@@ -73,8 +123,8 @@ func (l *Link) transmit(tx *Device, txSector sector.ID, raw []byte, airtime time
 // when the receiver decodes the frame. Attached sniffers observe the
 // transmission either way.
 func (l *Link) Deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad.Frame, radio.Measurement, bool) {
-	l.transmit(tx, txSector, raw, dot11ad.SSWFrameTime)
-	frame, meas, ok := l.deliver(tx, rx, txSector, raw)
+	seq := l.transmit(tx, txSector, raw, dot11ad.SSWFrameTime)
+	frame, meas, ok := l.deliver(tx, rx, txSector, raw, seq)
 	if ok {
 		metFramesDelivered.Inc()
 	} else {
@@ -83,9 +133,13 @@ func (l *Link) Deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad
 	return frame, meas, ok
 }
 
-func (l *Link) deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad.Frame, radio.Measurement, bool) {
+func (l *Link) deliver(tx, rx *Device, txSector sector.ID, raw []byte, seq uint64) (*dot11ad.Frame, radio.Measurement, bool) {
 	txGain, err := tx.TXGain(txSector)
 	if err != nil {
+		return nil, radio.Measurement{}, false
+	}
+	ev := l.frameEvent(tx.Name(), rx.Name(), txSector, seq)
+	if fault.ApplyFrame(l.injector, ev) {
 		return nil, radio.Measurement{}, false
 	}
 	trueSNR := radio.TrueSNR(l.Env, tx.Pose(), rx.Pose(), txGain, rx.RXGain(), l.Budget)
@@ -97,6 +151,8 @@ func (l *Link) deliver(tx, rx *Device, txSector sector.ID, raw []byte) (*dot11ad
 	if err != nil {
 		return nil, radio.Measurement{}, false
 	}
+	meas = fault.ApplyMeasurement(l.injector, ev, meas)
+	fault.ApplyFrameCorruption(l.injector, ev, frame)
 	return frame, meas, true
 }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"talon/internal/dot11ad"
+	"talon/internal/fault"
 	"talon/internal/sector"
 )
 
@@ -39,6 +40,13 @@ const (
 // fail, as on an unpatched chip.
 func (f *Firmware) HandleWMI(cmd WMICommandID, payload []byte) ([]byte, error) {
 	metWMICommands.Inc()
+	if err := fault.ApplyWMI(f.inj, uint16(cmd)); err != nil {
+		// An injected mailbox timeout: the command never reaches the
+		// firmware. The error wraps fault.ErrInjected so resilient
+		// callers can classify it as transient and retry.
+		metWMIErrors.Inc()
+		return nil, fmt.Errorf("wil: WMI %#x: %w", uint16(cmd), err)
+	}
 	reply, err := f.handleWMI(cmd, payload)
 	if err != nil {
 		metWMIErrors.Inc()

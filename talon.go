@@ -68,6 +68,7 @@ import (
 	"talon/internal/channel"
 	"talon/internal/core"
 	"talon/internal/dot11ad"
+	"talon/internal/fault"
 	"talon/internal/geom"
 	"talon/internal/pattern"
 	"talon/internal/sector"
@@ -107,7 +108,32 @@ type (
 	MACAddr = dot11ad.MACAddr
 	// SLSResult summarizes a mutual sector-level sweep.
 	SLSResult = wil.SLSResult
+	// FallbackReason classifies why a resilient Run degraded to the
+	// full-sweep baseline (see Selection.FallbackReason).
+	FallbackReason = core.FallbackReason
+	// FaultInjector is an impairment layer installable on a Link with
+	// SetInjector; build one from internal/fault or use
+	// Standard60GHzFaults.
+	FaultInjector = fault.Injector
 )
+
+// The FallbackReason values a degraded Selection reports.
+const (
+	FallbackNone              = core.FallbackNone
+	FallbackTooFewProbes      = core.FallbackTooFewProbes
+	FallbackDegenerateSurface = core.FallbackDegenerateSurface
+	FallbackSNRCheck          = core.FallbackSNRCheck
+	FallbackTransientFault    = core.FallbackTransientFault
+)
+
+// Standard60GHzFaults returns the default hostile-channel impairment
+// preset: Gilbert–Elliott frame loss at the given stationary rate with
+// meanBurst-frame bursts, RSSI bias and drift, sparse stale feedback,
+// record-drop storms and transient WMI failures, all deterministic in
+// seed. Install it with Link.SetInjector; clear with SetInjector(nil).
+func Standard60GHzFaults(lossRate, meanBurst float64, seed int64) FaultInjector {
+	return fault.Standard60GHz(lossRate, meanBurst, seed)
+}
 
 // Sentinel errors of the public API, re-exported from the internal
 // packages that produce them. Match with errors.Is; all returned errors
@@ -125,6 +151,10 @@ var (
 	// ErrUnknownSector reports a sector ID outside the hardware's
 	// codebook or the 6-bit on-air range.
 	ErrUnknownSector = sector.ErrUnknown
+	// ErrInjected marks failures produced by the deterministic fault
+	// layer (internal/fault); resilient callers treat them as
+	// transient. ErrSNRCheckFailed (run.go) joins these sentinels.
+	ErrInjected = fault.ErrInjected
 )
 
 // NewDevice builds a simulated router. See wil.Config for the knobs; only
