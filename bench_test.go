@@ -241,7 +241,7 @@ func BenchmarkAblation_AdaptiveProbes(b *testing.B) {
 	rng := stats.NewRNG(8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.AblationAdaptiveProbes(r.platform, 40, rng); err != nil {
+		if _, err := eval.AblationAdaptiveProbes(context.Background(), r.platform, 40, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -262,7 +262,7 @@ func BenchmarkCore_SelectSector(b *testing.B) {
 	probes := core.ProbesFromMeasurements(probeSet.IDs(), tr.Sweeps[0])
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.platform.Estimator.SelectSector(probes); err != nil {
+		if _, err := r.platform.Estimator.SelectSector(context.Background(), probes); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -353,7 +353,7 @@ func BenchmarkRetrainingStudy(b *testing.B) {
 	rng := stats.NewRNG(10)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.RetrainingStudy(r.platform, 20, 4*time.Second, rng); err != nil {
+		if _, err := eval.RetrainingStudy(context.Background(), r.platform, 20, 4*time.Second, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -366,7 +366,7 @@ func BenchmarkBlockageStudy(b *testing.B) {
 	rng := stats.NewRNG(11)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.BlockageStudy(r.platform, 24, 6, rng); err != nil {
+		if _, err := eval.BlockageStudy(context.Background(), r.platform, 24, 6, rng); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -387,7 +387,7 @@ func BenchmarkDensifyStudy(b *testing.B) {
 	rng := stats.NewRNG(12)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.DensifyStudy(42, 14, []int{34, 63}, 10, rng); err != nil {
+		if _, err := eval.DensifyStudy(context.Background(), 42, 14, []int{34, 63}, 10, rng); err != nil {
 			b.Fatal(err)
 		}
 	}

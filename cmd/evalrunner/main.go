@@ -151,18 +151,18 @@ func run(ctx context.Context) error {
 		if err != nil {
 			return err
 		}
-		return runRetraining(study)
+		return runRetraining(ctx, study)
 	case "blockage":
 		study, err := runStudy(ctx, f)
 		if err != nil {
 			return err
 		}
-		return runBlockage(study)
+		return runBlockage(ctx, study)
 	case "density":
 		fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
 		return nil
 	case "densify":
-		return runDensify()
+		return runDensify(ctx)
 	case "faultsweep":
 		study, err := runStudy(ctx, f)
 		if err != nil {
@@ -262,7 +262,7 @@ func runAblations(ctx context.Context, study *eval.EnvironmentStudy, f eval.Fide
 	if *fidelity == "quick" {
 		steps = 60
 	}
-	adaptive, err := eval.AblationAdaptiveProbes(study.Platform, steps, rng)
+	adaptive, err := eval.AblationAdaptiveProbes(ctx, study.Platform, steps, rng)
 	if err != nil {
 		return err
 	}
@@ -303,17 +303,17 @@ func runAll(ctx context.Context, f eval.Fidelity) error {
 		return err
 	}
 	fmt.Println()
-	if err := runRetraining(study); err != nil {
+	if err := runRetraining(ctx, study); err != nil {
 		return err
 	}
 	fmt.Println()
-	if err := runBlockage(study); err != nil {
+	if err := runBlockage(ctx, study); err != nil {
 		return err
 	}
 	fmt.Println()
 	fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
 	fmt.Println()
-	if err := runDensify(); err != nil {
+	if err := runDensify(ctx); err != nil {
 		return err
 	}
 	fmt.Println()
@@ -372,12 +372,12 @@ func parseRates(s string) ([]float64, error) {
 	return rates, nil
 }
 
-func runDensify() error {
+func runDensify(ctx context.Context) error {
 	trials := 120
 	if *fidelity == "quick" {
 		trials = 30
 	}
-	r, err := eval.DensifyStudy(*seed, 14, nil, trials, stats.NewRNG(*seed).Split("densify"))
+	r, err := eval.DensifyStudy(ctx, *seed, 14, nil, trials, stats.NewRNG(*seed).Split("densify"))
 	if err != nil {
 		return err
 	}
@@ -385,12 +385,12 @@ func runDensify() error {
 	return nil
 }
 
-func runBlockage(study *eval.EnvironmentStudy) error {
+func runBlockage(ctx context.Context, study *eval.EnvironmentStudy) error {
 	rounds := 30
 	if *fidelity == "quick" {
 		rounds = 10
 	}
-	r, err := eval.BlockageStudy(study.Platform, 24, rounds, stats.NewRNG(*seed).Split("blockage"))
+	r, err := eval.BlockageStudy(ctx, study.Platform, 24, rounds, stats.NewRNG(*seed).Split("blockage"))
 	if err != nil {
 		return err
 	}
@@ -398,12 +398,12 @@ func runBlockage(study *eval.EnvironmentStudy) error {
 	return nil
 }
 
-func runRetraining(study *eval.EnvironmentStudy) error {
+func runRetraining(ctx context.Context, study *eval.EnvironmentStudy) error {
 	dur := 20 * time.Second
 	if *fidelity == "quick" {
 		dur = 6 * time.Second
 	}
-	r, err := eval.RetrainingStudy(study.Platform, 20, dur, stats.NewRNG(*seed).Split("retraining"))
+	r, err := eval.RetrainingStudy(ctx, study.Platform, 20, dur, stats.NewRNG(*seed).Split("retraining"))
 	if err != nil {
 		return err
 	}

@@ -2,15 +2,12 @@ package main
 
 import (
 	"bytes"
-	"flag"
-	"os"
 	"path/filepath"
 	"testing"
 
 	"talon/internal/dot11ad"
+	"talon/internal/testutil"
 )
-
-var update = flag.Bool("update", false, "rewrite golden files")
 
 // TestFrameJSONGolden pins the -json output shape: one line per frame
 // type, compared byte-for-byte against testdata/frames.golden. Field
@@ -43,20 +40,5 @@ func TestFrameJSONGolden(t *testing.T) {
 		buf.WriteByte('\n')
 	}
 
-	golden := filepath.Join("testdata", "frames.golden")
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("JSON output changed (run with -update if intended):\ngot:\n%swant:\n%s", buf.Bytes(), want)
-	}
+	testutil.Golden(t, filepath.Join("testdata", "frames.golden"), buf.Bytes())
 }

@@ -1,0 +1,115 @@
+// Command talonlint runs talon's project-specific static-analysis suite
+// over the module:
+//
+//	go run ./cmd/talonlint ./...
+//
+// Four analyzers enforce the invariants the reproduction's claims rest
+// on (see internal/analysis):
+//
+//	determinism  no time.Now/time.Since or global math/rand in library code
+//	ctxfirst     context-first APIs, no conjured root contexts
+//	metricname   snake_case, prefixed, golden-pinned obs metric names
+//	senterr      sentinel errors matched with errors.Is, wrapped with %w
+//
+// determinism and ctxfirst are scoped to the deterministic library
+// packages (internal/{core,eval,fault,wil,channel,stats,testbed});
+// metricname and senterr apply module-wide. cmd/ binaries own their
+// roots and wall clocks by design. Findings are suppressed line-by-line
+// with `//lint:allow <analyzer> -- <reason>`.
+//
+// Exit status is 1 when any finding survives, so CI can require it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+
+	"talon/internal/analysis"
+)
+
+// scopedRe matches the import paths of the deterministic library
+// packages that determinism and ctxfirst bind.
+var scopedRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed)(/|$)`)
+
+func main() {
+	golden := flag.String("golden", "", "metric inventory file (default <module>/testdata/metric_names.golden)")
+	dir := flag.String("C", "", "run as if started in this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: talonlint [flags] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := run(*dir, *golden, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "talonlint:", err)
+		os.Exit(2)
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "talonlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func run(dir, golden string, patterns []string) (int, error) {
+	if golden == "" {
+		root, err := moduleRoot(dir)
+		if err != nil {
+			return 0, err
+		}
+		golden = filepath.Join(root, "testdata", "metric_names.golden")
+	}
+
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	wide := []*analysis.Analyzer{analysis.NewMetricName(golden), analysis.SentErr}
+	scoped := []*analysis.Analyzer{analysis.Determinism, analysis.CtxFirst}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		as := wide
+		if scopedRe.MatchString("/" + pkg.ImportPath) {
+			as = append(append([]*analysis.Analyzer(nil), scoped...), wide...)
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, as...) {
+			fmt.Println(d)
+			findings++
+		}
+	}
+	return findings, nil
+}
+
+// moduleRoot walks up from dir (or the working directory) to go.mod.
+func moduleRoot(dir string) (string, error) {
+	if dir == "" {
+		wd, err := os.Getwd()
+		if err != nil {
+			return "", err
+		}
+		dir = wd
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

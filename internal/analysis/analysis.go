@@ -1,0 +1,232 @@
+// Package analysis is talon's project-specific static-analysis suite: a
+// minimal, dependency-free reimplementation of the golang.org/x/tools
+// go/analysis surface (Analyzer, Pass, Diagnostic) plus four analyzers
+// that machine-check the conventions the reproduction's headline claims
+// rest on — determinism (no wall clocks or global randomness in library
+// code), ctxfirst (context-first APIs, no conjured root contexts),
+// metricname (snake_case obs metric names pinned by a golden inventory)
+// and senterr (sentinel errors matched with errors.Is, wrapping with %w).
+//
+// The x/tools module is intentionally not a dependency: the suite loads
+// packages with `go list -export` and type-checks them through the
+// stdlib's gc export-data importer, so `go run ./cmd/talonlint ./...`
+// works from a bare toolchain with no module downloads.
+//
+// A finding is suppressed by annotating the offending line (or the line
+// directly above it) with
+//
+//	//lint:allow <analyzer> -- <reason>
+//
+// The reason is mandatory; a bare allow comment is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow comments.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run reports findings on one package through pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through an analyzer, mirroring
+// x/tools' analysis.Pass.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	analyzer *Analyzer
+	diags    []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRe matches a well-formed suppression comment.
+var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+--\s+\S`)
+
+// allowAnyRe matches anything that looks like an attempted suppression.
+var allowAnyRe = regexp.MustCompile(`^//lint:allow\b`)
+
+// allowSet indexes suppressions by file and line.
+type allowSet map[string]map[int]map[string]bool
+
+// collectAllows scans the comments of files for //lint:allow markers. A
+// marker suppresses the named analyzer on its own line and on the line
+// below it (so both trailing and preceding-line comments work).
+// Malformed markers (missing the mandatory "-- reason") are returned as
+// diagnostics under the pseudo-analyzer "lintallow".
+func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
+	allows := make(allowSet)
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !allowAnyRe.MatchString(text) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := allowRe.FindStringSubmatch(text)
+				if m == nil {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lintallow",
+						Message:  "malformed //lint:allow comment: want `//lint:allow <analyzer> -- <reason>`",
+					})
+					continue
+				}
+				name := m[1]
+				byLine := allows[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					allows[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if byLine[line] == nil {
+						byLine[line] = make(map[string]bool)
+					}
+					byLine[line][name] = true
+				}
+			}
+		}
+	}
+	return allows, bad
+}
+
+func (a allowSet) allowed(d Diagnostic) bool {
+	byLine, ok := a[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	return byLine[d.Pos.Line][d.Analyzer]
+}
+
+// RunAnalyzers applies analyzers to a loaded package and returns the
+// surviving diagnostics (allow-comment suppressions applied), sorted by
+// position. Malformed allow comments are always reported.
+func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	allows, bad := collectAllows(pkg.Fset, pkg.Files)
+	diags := append([]Diagnostic(nil), bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			analyzer:  a,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if !allows.allowed(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// --- shared type-resolution helpers used by the analyzers ---
+
+// calleeFunc resolves the *types.Func a call expression invokes, or nil
+// for calls through function-typed variables, conversions and built-ins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fn]; sel != nil {
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fn.Sel]
+		}
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+// funcIs reports whether fn is the named function of the package whose
+// import path ends in pkgSuffix (exact match for stdlib paths).
+func funcIs(fn *types.Func, pkgSuffix, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	return pathMatches(fn.Pkg().Path(), pkgSuffix)
+}
+
+// pathMatches reports whether path equals suffix or ends in "/"+suffix,
+// so "context" matches only the stdlib package while
+// "internal/obs" also matches "talon/internal/obs".
+func pathMatches(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// takesContextFirst reports whether the callee's signature declares
+// context.Context as its first parameter.
+func takesContextFirst(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// isErrorType reports whether t is (or trivially wraps) the error
+// interface.
+func isErrorType(t types.Type) bool {
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}

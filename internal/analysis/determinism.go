@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism flags wall-clock and ambient-randomness escapes in library
+// code. The reproduction's headline claims — bit-for-bit engine
+// equivalence, RNG-stream-identical resilient training, fault injection
+// on a virtual clock — all assume that simulation state never reads
+// time.Now and that every stochastic draw flows through an injected
+// seed (internal/stats.RNG). Flagged:
+//
+//   - time.Now, time.Since and time.Until (implicit time.Now)
+//   - package-level math/rand and math/rand/v2 functions (the global,
+//     process-seeded generator)
+//   - rand.New seeded from a constant literal or from the wall clock
+//     instead of an injected seed value
+//
+// Wall-clock observability (latency histograms) is the sanctioned
+// exception — annotate those sites with
+// `//lint:allow determinism -- <reason>`.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid time.Now/time.Since and global math/rand in deterministic library code",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || isMethod(fn) {
+				// Methods (e.g. (*rand.Rand).Intn, (*stats.RNG).Float64)
+				// are fine: the receiver carries an injected seed.
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				switch fn.Name() {
+				case "Now":
+					pass.Reportf(call.Pos(), "call to time.Now in deterministic library code; use the link's virtual clock or inject a clock (wall-clock metrics may be annotated with //lint:allow determinism -- <reason>)")
+				case "Since", "Until":
+					pass.Reportf(call.Pos(), "call to time.%s reads the wall clock implicitly; use the link's virtual clock or inject a clock", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				switch fn.Name() {
+				case "New":
+					if !seedIsInjected(pass, call) {
+						pass.Reportf(call.Pos(), "rand.New without an injected seed; thread the seed in as a value so experiments replay from it")
+					}
+				case "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+					// Source constructors are judged at their rand.New
+					// call site.
+				default:
+					pass.Reportf(call.Pos(), "call to global %s.%s uses the ambient process-seeded generator; draw from an injected internal/stats.RNG instead", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isMethod reports whether fn has a receiver.
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// seedIsInjected decides whether a rand.New call derives its stream from
+// an injected value. The seed counts as injected when every leaf of the
+// source-constructor argument is a non-constant expression (identifier,
+// field, call result) — i.e. the caller threads a seed in. Constant
+// literals and wall-clock reads (time.Now().UnixNano() is caught by the
+// time rules too) are not injected.
+func seedIsInjected(pass *Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	arg := ast.Unparen(call.Args[0])
+	// rand.New(rand.NewSource(seed)): inspect the constructor argument.
+	if inner, ok := arg.(*ast.CallExpr); ok {
+		if fn := calleeFunc(pass.TypesInfo, inner); fn != nil && fn.Pkg() != nil &&
+			(fn.Pkg().Path() == "math/rand" || fn.Pkg().Path() == "math/rand/v2") {
+			injected := len(inner.Args) > 0
+			for _, a := range inner.Args {
+				if tv, ok := pass.TypesInfo.Types[a]; ok && tv.Value != nil {
+					injected = false // constant seed
+				}
+			}
+			return injected
+		}
+	}
+	// rand.New(src) with a source variable: assume the source was
+	// constructed elsewhere from an injected seed.
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.Value != nil {
+		return false
+	}
+	_, isIdent := arg.(*ast.Ident)
+	_, isSel := arg.(*ast.SelectorExpr)
+	return isIdent || isSel
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList invokes the go tool from dir and decodes its JSON stream.
+func goList(dir string, args ...string) ([]*listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-export", "-json=ImportPath,Dir,Export,GoFiles,Imports,ImportMap,Standard,Error", "-deps"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var entries []*listEntry
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); errors.Is(err, io.EOF) {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// exportLookup builds the importer lookup function over the export-data
+// files `go list -export` produced, honouring per-package import maps.
+type exportLookup struct {
+	exports map[string]string // import path -> export file
+}
+
+func newExportLookup(entries []*listEntry) *exportLookup {
+	l := &exportLookup{exports: make(map[string]string, len(entries))}
+	for _, e := range entries {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+	return l
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// newInfo allocates the types.Info maps the analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typeCheck parses and checks one package's files against the export
+// data of its dependencies. Test files are intentionally excluded:
+// the lint conventions do not apply to _test.go code.
+func typeCheck(fset *token.FileSet, importPath, dir string, goFiles []string, lk *exportLookup, importMap map[string]string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	// Apply the package's ImportMap (vendoring/importmap indirection) on
+	// top of the flat export table.
+	resolve := lk
+	if len(importMap) > 0 {
+		mapped := &exportLookup{exports: make(map[string]string, len(lk.exports))}
+		for p, f := range lk.exports {
+			mapped.exports[p] = f
+		}
+		for from, to := range importMap {
+			if f, ok := lk.exports[to]; ok {
+				mapped.exports[from] = f
+			}
+		}
+		resolve = mapped
+	}
+	info := newInfo()
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "gc", resolve.lookup),
+		Error:    func(error) {}, // collect the first hard error below
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// Load lists, parses and type-checks the packages matching patterns
+// (relative to dir; empty dir means the current directory), returning
+// only the matched packages — dependencies are consumed as export data.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// -deps lists the whole closure; the matched packages are exactly the
+	// non-Standard entries inside the module (deps from other modules do
+	// not occur: the module is dependency-free).
+	lk := newExportLookup(entries)
+	var pkgs []*Package
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.Standard || len(e.GoFiles) == 0 {
+			continue
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		pkg, err := typeCheck(fset, e.ImportPath, e.Dir, e.GoFiles, lk, e.ImportMap)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir type-checks a single directory of Go files that is not part
+// of the module build (an analysistest fixture package). Imports are
+// resolved by export data listed from moduleDir, so fixtures may import
+// both the standard library and talon's own packages.
+func LoadDir(moduleDir, fixtureDir string) (*Package, error) {
+	dirEntries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, de := range dirEntries {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") {
+			goFiles = append(goFiles, de.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", fixtureDir)
+	}
+	sort.Strings(goFiles)
+
+	// Discover the fixture's imports so `go list` can produce export
+	// data for exactly that closure.
+	fset := token.NewFileSet()
+	importSet := make(map[string]bool)
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(fixtureDir, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			importSet[p] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+
+	lk := &exportLookup{exports: make(map[string]string)}
+	if len(imports) > 0 {
+		entries, err := goList(moduleDir, imports...)
+		if err != nil {
+			return nil, err
+		}
+		lk = newExportLookup(entries)
+	}
+	return typeCheck(token.NewFileSet(), filepath.Base(fixtureDir), fixtureDir, goFiles, lk, nil)
+}

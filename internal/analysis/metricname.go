@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"bufio"
+	"go/ast"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricConstructors are the obs default-registry registration points.
+var metricConstructors = map[string]bool{
+	"NewCounter":    true,
+	"NewGauge":      true,
+	"NewFloatGauge": true,
+	"NewHistogram":  true,
+}
+
+// metricPrefixes are the sanctioned metric-name namespaces, one per
+// instrumented subsystem.
+var metricPrefixes = []string{"core_", "wil_", "eval_", "fault_", "trainer_", "nexmon_"}
+
+var snakeCaseRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// NewMetricName builds the metricname analyzer. Every registration on
+// the obs default registry (obs.NewCounter, obs.NewGauge,
+// obs.NewFloatGauge, obs.NewHistogram) outside the obs package itself
+// must:
+//
+//   - sit in a package-level var declaration (metrics register once at
+//     init, never per call),
+//   - name the metric with a snake_case string literal,
+//   - use a known subsystem prefix (core_, wil_, eval_, fault_,
+//     trainer_, nexmon_),
+//   - and, when goldenPath is non-empty, appear in the golden metric
+//     inventory (testdata/metric_names.golden) that the dashboards are
+//     built on.
+//
+// goldenPath == "" skips the inventory cross-check.
+func NewMetricName(goldenPath string) *Analyzer {
+	a := &Analyzer{
+		Name: "metricname",
+		Doc:  "obs metric registrations must be package-level vars with snake_case, prefixed, golden-pinned literal names",
+	}
+	a.Run = func(pass *Pass) { runMetricName(pass, goldenPath) }
+	return a
+}
+
+// loadGolden reads the newline-separated metric inventory.
+func loadGolden(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	names := make(map[string]bool)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			names[line] = true
+		}
+	}
+	return names, sc.Err()
+}
+
+func runMetricName(pass *Pass, goldenPath string) {
+	if pathMatches(pass.Pkg.Path(), "internal/obs") {
+		return // the registry implementation itself
+	}
+	var golden map[string]bool
+	goldenErrReported := false
+	for _, file := range pass.Files {
+		// Registration sites inside package-level var declarations are
+		// collected first so any other location can be flagged.
+		topLevel := make(map[*ast.CallExpr]bool)
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isMetricRegistration(pass, call) {
+					topLevel[call] = true
+				}
+				return true
+			})
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isMetricRegistration(pass, call) {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !topLevel[call] {
+				pass.Reportf(call.Pos(), "obs.%s outside a package-level var declaration; metrics register once at init", fn.Name())
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(), "obs.%s name must be a string literal so the inventory is greppable and golden-pinned", fn.Name())
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !snakeCaseRe.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metric name %q is not snake_case", name)
+				return true
+			}
+			if !hasMetricPrefix(name) {
+				pass.Reportf(lit.Pos(), "metric name %q lacks a known subsystem prefix (%s)", name, strings.Join(metricPrefixes, ", "))
+			}
+			if goldenPath != "" {
+				if golden == nil {
+					var err error
+					golden, err = loadGolden(goldenPath)
+					if err != nil {
+						if !goldenErrReported {
+							pass.Reportf(call.Pos(), "cannot read metric inventory %s: %v", goldenPath, err)
+							goldenErrReported = true
+						}
+						golden = map[string]bool{}
+					}
+				}
+				if len(golden) > 0 && !golden[name] {
+					pass.Reportf(lit.Pos(), "metric %q is not in the golden inventory %s (add it and regenerate with `go test -run TestMetricNamesGolden -update`)", name, goldenBase(goldenPath))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func goldenBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func hasMetricPrefix(name string) bool {
+	for _, p := range metricPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isMetricRegistration reports whether call invokes one of the obs
+// package-level default-registry constructors.
+func isMetricRegistration(pass *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || isMethod(fn) {
+		return false
+	}
+	return metricConstructors[fn.Name()] && pathMatches(fn.Pkg().Path(), "internal/obs")
+}

@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// SentErr enforces the error-matching conventions behind the typed
+// sentinels (ErrNotJailbroken, ErrTooFewProbes, ErrDegenerateSurface,
+// ErrUnknownSector, ErrInjected, ErrSNRCheckFailed, …):
+//
+//   - sentinel errors — package-level variables of type error — must be
+//     matched with errors.Is, never == or != (every error in this code
+//     base wraps its sentinel with call-site detail, so == silently
+//     stops matching);
+//   - fmt.Errorf must wrap error operands with %w, not %v or %s, or the
+//     sentinel chain is severed for every caller downstream.
+//
+// Comparisons against nil are of course fine. Suppress intentional
+// identity comparisons with `//lint:allow senterr -- <reason>`.
+var SentErr = &Analyzer{
+	Name: "senterr",
+	Doc:  "match sentinel errors with errors.Is and wrap with %w",
+	Run:  runSentErr,
+}
+
+func runSentErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelComparison(pass, node)
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkSentinelComparison flags == / != against package-level error
+// variables.
+func checkSentinelComparison(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		obj := exprObject(pass.TypesInfo, side)
+		if obj == nil {
+			continue
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			continue
+		}
+		// Package-level error variable == sentinel.
+		if v.Parent() != nil && v.Parent().Parent() == types.Universe && isErrorType(v.Type()) {
+			pass.Reportf(be.OpPos, "sentinel error %s compared with %s; use errors.Is so wrapped errors still match", v.Name(), be.Op)
+			return
+		}
+	}
+}
+
+// exprObject resolves the object an identifier or selector denotes.
+func exprObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand
+// with a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if !funcIs(fn, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	verbs := formatVerbs(format)
+	for i, verb := range verbs {
+		argIdx := i + 1
+		if argIdx >= len(call.Args) || verb == 'w' {
+			continue
+		}
+		arg := call.Args[argIdx]
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if isErrorInterface(tv.Type) {
+			pass.Reportf(arg.Pos(), "fmt.Errorf formats an error with %%%c; wrap it with %%w so errors.Is keeps matching the sentinel", verb)
+		}
+	}
+}
+
+// isErrorInterface reports whether t is exactly the error interface (a
+// value statically known to be an error). Types that merely implement
+// error (e.g. concrete structs with String-ish formatting) are left to
+// the author's judgement.
+func isErrorInterface(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// formatVerbs extracts the verb letters of a printf-style format in
+// argument order. Explicit argument indexes (%[1]v) and %% are handled;
+// width/precision stars consume an argument slot each.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags, width, precision, and argument indexes.
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*') // star consumes an arg slot
+				i++
+				continue
+			}
+			if c == '#' || c == '+' || c == '-' || c == ' ' || c == '0' ||
+				c == '.' || c == '[' || c == ']' || (c >= '0' && c <= '9') {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+			i++
+		}
+	}
+	return verbs
+}

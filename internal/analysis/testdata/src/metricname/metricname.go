@@ -1,0 +1,54 @@
+// Package metricname is the analysistest fixture for the metricname
+// analyzer. Its golden inventory lives next to it in
+// metric_names.golden.
+package metricname
+
+import "talon/internal/obs"
+
+// Conforming registrations: package-level vars, snake_case literals,
+// known prefixes, all present in the fixture golden inventory.
+var (
+	probes   = obs.NewCounter("core_fixture_probes_total", "probes issued")
+	depth    = obs.NewGauge("wil_fixture_queue_depth", "queue depth")
+	snr      = obs.NewFloatGauge("eval_fixture_snr_db", "last SNR")
+	latency  = obs.NewHistogram("trainer_fixture_latency_seconds", "latency", nil)
+	faults   = obs.NewCounter("fault_fixture_injected_total", "faults injected")
+	firmware = obs.NewCounter("nexmon_fixture_patches_total", "patches applied")
+)
+
+// Violations, one per rule.
+var (
+	camel    = obs.NewCounter("core_fixtureCamelCase", "camel")         // want "not snake_case"
+	noPrefix = obs.NewCounter("beam_switches_total", "no prefix")       // want "lacks a known subsystem prefix" "not in the golden inventory"
+	missing  = obs.NewCounter("core_fixture_unpinned_total", "missing") // want "not in the golden inventory"
+)
+
+var dynamicName = "core_fixture_dynamic_total"
+
+// Non-literal names defeat grep and the golden cross-check.
+var dynamic = obs.NewCounter(dynamicName, "dynamic") // want "name must be a string literal"
+
+// Registration at call time re-registers per invocation.
+func register() *obs.Counter {
+	return obs.NewCounter("core_fixture_probes_total", "probes issued") // want "outside a package-level var declaration"
+}
+
+// The allow escape hatch works here too.
+//
+//lint:allow metricname -- legacy dashboard name predates the prefix scheme
+var legacy = obs.NewCounter("legacy_hits_total", "legacy")
+
+func sink() {
+	probes.Inc()
+	depth.Set(0)
+	snr.Set(0)
+	latency.Observe(0)
+	faults.Inc()
+	firmware.Inc()
+	_ = camel
+	_ = noPrefix
+	_ = missing
+	_ = dynamic
+	_ = legacy
+	_ = register()
+}

@@ -1,0 +1,57 @@
+// Package senterr is the analysistest fixture for the senterr analyzer.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinels, in the style of core.ErrTooFewProbes.
+var (
+	ErrTooFew     = errors.New("too few probes")
+	errDegenerate = errors.New("degenerate surface")
+)
+
+// Identity comparison silently stops matching once a call site wraps
+// the sentinel.
+func compare(err error) bool {
+	if err == ErrTooFew { // want "sentinel error ErrTooFew compared with =="
+		return true
+	}
+	if err != errDegenerate { // want "sentinel error errDegenerate compared with !="
+		return false
+	}
+	return errors.Is(err, ErrTooFew) // the conforming form
+}
+
+// nil checks are not sentinel comparisons.
+func nilCheck(err error) bool {
+	return err != nil
+}
+
+// Local error variables are not sentinels; identity is fine.
+func localCompare() bool {
+	a := errors.New("a")
+	b := errors.New("b")
+	return a == b
+}
+
+// %v and %s sever the Unwrap chain that errors.Is walks.
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("probe 12: %v", err) // want "wrap it with %w"
+	}
+	return fmt.Errorf("sector %d: %s", 3, err) // want "wrap it with %w"
+}
+
+// %w is the conforming wrap; non-error operands take any verb.
+func wrapOK(err error, sector int) error {
+	return fmt.Errorf("sector %d: %w", sector, err)
+}
+
+// An annotated identity comparison survives: reflect.DeepEqual-style
+// exactness is occasionally the point.
+func compareAllowed(err error) bool {
+	//lint:allow senterr -- exact identity intended: sentinel is never wrapped here
+	return err == ErrTooFew
+}

@@ -44,7 +44,7 @@ func newEngine(set *pattern.Set) *engine {
 	if grid == nil {
 		return nil
 	}
-	buildStart := time.Now()
+	buildStart := time.Now() //lint:allow determinism -- dictionary-build histogram reads the wall clock by design
 	defer metDictBuildSeconds.ObserveSince(buildStart)
 	ids := set.IDs()
 	en := &engine{

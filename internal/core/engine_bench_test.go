@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -65,7 +66,7 @@ func BenchmarkEstimateAoA_Engine(b *testing.B) {
 	est, probes := benchEstimator(b, Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.EstimateAoA(probes); err != nil {
+		if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +86,7 @@ func BenchmarkSelectSector_Engine(b *testing.B) {
 	est, probes := benchEstimator(b, Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.SelectSector(probes); err != nil {
+		if _, err := est.SelectSector(context.Background(), probes); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +106,7 @@ func BenchmarkEstimateMultipath_Engine(b *testing.B) {
 	est, probes := benchEstimator(b, Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := est.EstimateMultipath(probes, 2, 15, 0.3); err != nil {
+		if _, err := est.EstimateMultipath(context.Background(), probes, 2, 15, 0.3); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -71,7 +71,7 @@ func TestEngineMatchesSerial(t *testing.T) {
 					el := 28 * rng.Float64()
 					probes := observe(t, gain, ps.IDs(), az, el, model, rng)
 
-					gotAoA, gotErr := est.EstimateAoA(probes)
+					gotAoA, gotErr := est.EstimateAoA(context.Background(), probes)
 					refAoA, refErr := est.EstimateAoASerial(probes)
 					if (gotErr == nil) != (refErr == nil) {
 						t.Fatalf("m=%d trial=%d: engine err %v, serial err %v", m, trial, gotErr, refErr)
@@ -87,7 +87,7 @@ func TestEngineMatchesSerial(t *testing.T) {
 						t.Fatalf("m=%d trial=%d: engine %+v != serial %+v", m, trial, gotAoA, refAoA)
 					}
 
-					gotSel, gotErr := est.SelectSector(probes)
+					gotSel, gotErr := est.SelectSector(context.Background(), probes)
 					refSel, refErr := est.SelectSectorSerial(probes)
 					if (gotErr == nil) != (refErr == nil) {
 						t.Fatalf("m=%d trial=%d: select engine err %v, serial err %v", m, trial, gotErr, refErr)
@@ -149,7 +149,7 @@ func TestEngineMatchesSerialWithHoles(t *testing.T) {
 				OK:     rng.Float64() > 0.3,
 			})
 		}
-		gotAoA, gotErr := est.EstimateAoA(probes)
+		gotAoA, gotErr := est.EstimateAoA(context.Background(), probes)
 		refAoA, refErr := est.EstimateAoASerial(probes)
 		if (gotErr == nil) != (refErr == nil) {
 			t.Fatalf("trial=%d: engine err %v, serial err %v", trial, gotErr, refErr)
@@ -169,7 +169,7 @@ func TestEngineErrorParity(t *testing.T) {
 		t.Fatal(err)
 	}
 	tooFew := []Probe{{Sector: 1, Meas: radio.Measurement{SNR: 5, RSSI: -60}, OK: true}}
-	_, engineErr := est.EstimateAoA(tooFew)
+	_, engineErr := est.EstimateAoA(context.Background(), tooFew)
 	_, serialErr := est.EstimateAoASerial(tooFew)
 	if !errors.Is(engineErr, ErrTooFewProbes) {
 		t.Fatalf("engine: want ErrTooFewProbes, got %v", engineErr)
@@ -193,21 +193,21 @@ func TestEstimateCancellation(t *testing.T) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := est.EstimateAoAContext(ctx, probes); !errors.Is(err, context.Canceled) {
-		t.Fatalf("EstimateAoAContext: want context.Canceled, got %v", err)
+	if _, err := est.EstimateAoA(ctx, probes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateAoA: want context.Canceled, got %v", err)
 	}
-	if _, err := est.SelectSectorContext(ctx, probes); !errors.Is(err, context.Canceled) {
-		t.Fatalf("SelectSectorContext: want context.Canceled, got %v", err)
+	if _, err := est.SelectSector(ctx, probes); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectSector: want context.Canceled, got %v", err)
 	}
-	if _, err := est.EstimateMultipathContext(ctx, probes, 2, 15, 0.5); !errors.Is(err, context.Canceled) {
-		t.Fatalf("EstimateMultipathContext: want context.Canceled, got %v", err)
+	if _, err := est.EstimateMultipath(ctx, probes, 2, 15, 0.5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EstimateMultipath: want context.Canceled, got %v", err)
 	}
-	if _, err := est.SelectWithBackupContext(ctx, probes, 15); !errors.Is(err, context.Canceled) {
-		t.Fatalf("SelectWithBackupContext: want context.Canceled, got %v", err)
+	if _, err := est.SelectWithBackup(ctx, probes, 15); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SelectWithBackup: want context.Canceled, got %v", err)
 	}
 
 	// A live context must not be affected.
-	if _, err := est.EstimateAoAContext(context.Background(), probes); err != nil {
+	if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
 		t.Fatalf("live context: %v", err)
 	}
 }
@@ -237,7 +237,7 @@ func TestEngineConcurrentUse(t *testing.T) {
 	done := make(chan int, len(probeSets))
 	for i := range probeSets {
 		go func(i int) {
-			aoa, err := est.EstimateAoA(probeSets[i])
+			aoa, err := est.EstimateAoA(context.Background(), probeSets[i])
 			got[i] = result{aoa, err}
 			done <- i
 		}(i)

@@ -235,19 +235,11 @@ func (e *Estimator) Correlation(probes []Probe, az, el float64) float64 {
 // EstimateAoA maximizes the correlation over the pattern grid (Eq. 3),
 // optionally refining the maximum between grid points. The search runs on
 // the precomputed correlation engine; EstimateAoASerial is the retained
-// reference implementation, and the two agree bit for bit.
-func (e *Estimator) EstimateAoA(probes []Probe) (AoAEstimate, error) {
-	return e.EstimateAoAContext(context.Background(), probes)
-}
-
-// EstimateAoAContext is EstimateAoA with cancellation: ctx is observed
-// between grid rows, and a cancelled search returns ctx.Err().
-func (e *Estimator) EstimateAoAContext(ctx context.Context, probes []Probe) (AoAEstimate, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// reference implementation, and the two agree bit for bit. ctx is
+// observed between grid rows, and a cancelled search returns ctx.Err().
+func (e *Estimator) EstimateAoA(ctx context.Context, probes []Probe) (AoAEstimate, error) {
 	metEstimates.Inc()
-	start := time.Now()
+	start := time.Now() //lint:allow determinism -- estimate-latency histogram reads the wall clock by design
 	defer metEstimateSeconds.ObserveSince(start)
 	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
 	if reported < 2 {
@@ -406,17 +398,11 @@ const (
 // from the probes and choose the best of all N sectors toward it (Eq. 4).
 // When the correlation maximum is too weak to be trusted — or no estimate
 // is possible at all — the selection falls back to the classic argmax
-// over the probed sectors.
-func (e *Estimator) SelectSector(probes []Probe) (Selection, error) {
-	return e.SelectSectorContext(context.Background(), probes)
-}
-
-// SelectSectorContext is SelectSector with cancellation. A cancelled
-// context propagates ctx.Err() instead of degrading to the sweep
-// fallback.
-func (e *Estimator) SelectSectorContext(ctx context.Context, probes []Probe) (Selection, error) {
+// over the probed sectors. A cancelled context propagates ctx.Err()
+// instead of degrading to the sweep fallback.
+func (e *Estimator) SelectSector(ctx context.Context, probes []Probe) (Selection, error) {
 	metSelectEngine.Inc()
-	aoa, err := e.EstimateAoAContext(ctx, probes)
+	aoa, err := e.EstimateAoA(ctx, probes)
 	if err != nil && isCtxErr(err) {
 		return Selection{}, err
 	}

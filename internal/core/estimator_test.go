@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -87,7 +88,7 @@ func TestEstimateAoANoiseless(t *testing.T) {
 		{0, 0}, {-40, 6}, {33, 12}, {70, 3}, {-66, 21},
 	} {
 		probes := observe(t, gain, sector.TalonTX(), truth.az, truth.el, model, rng)
-		aoa, err := est.EstimateAoA(probes)
+		aoa, err := est.EstimateAoA(context.Background(), probes)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestEstimateAoACompressive(t *testing.T) {
 			t.Fatal(err)
 		}
 		probes := observe(t, gain, probeSet.IDs(), truthAz, truthEl, model, rng)
-		aoa, err := est.EstimateAoA(probes)
+		aoa, err := est.EstimateAoA(context.Background(), probes)
 		if err != nil {
 			continue // all probes missed: counted as failure below
 		}
@@ -152,10 +153,10 @@ func TestJointCorrelationBeatsOutliers(t *testing.T) {
 		truthAz := rng.Uniform(-60, 60)
 		probeSet, _ := RandomProbes(rng, sector.TalonTX(), 14)
 		probes := observe(t, gain, probeSet.IDs(), truthAz, 5, model, rng)
-		if a, err := joint.EstimateAoA(probes); err == nil {
+		if a, err := joint.EstimateAoA(context.Background(), probes); err == nil {
 			errJoint = append(errJoint, math.Abs(a.Az-truthAz))
 		}
-		if a, err := snrOnly.EstimateAoA(probes); err == nil {
+		if a, err := snrOnly.EstimateAoA(context.Background(), probes); err == nil {
 			errSNR = append(errSNR, math.Abs(a.Az-truthAz))
 		}
 	}
@@ -175,7 +176,7 @@ func TestSelectSectorPicksDominantBeam(t *testing.T) {
 		truthEl := rng.Uniform(0, 20)
 		probeSet, _ := RandomProbes(rng, sector.TalonTX(), 16)
 		probes := observe(t, gain, probeSet.IDs(), truthAz, truthEl, model, rng)
-		sel, err := est.SelectSector(probes)
+		sel, err := est.SelectSector(context.Background(), probes)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,7 +205,7 @@ func TestSelectSectorCanPickUnprobedSector(t *testing.T) {
 		truthAz := rng.Uniform(-70, 70)
 		probeSet, _ := RandomProbes(rng, sector.TalonTX(), 8)
 		probes := observe(t, gain, probeSet.IDs(), truthAz, 5, model, rng)
-		sel, err := est.SelectSector(probes)
+		sel, err := est.SelectSector(context.Background(), probes)
 		if err != nil {
 			continue
 		}
@@ -231,16 +232,16 @@ func TestEstimateAoAMissingProbes(t *testing.T) {
 			probes[i].OK = false
 		}
 	}
-	if _, err := est.EstimateAoA(probes); err != nil {
+	if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
 		t.Fatalf("3 valid probes should still estimate: %v", err)
 	}
 	probes[2].OK = false
 	probes[1].OK = false
-	if _, err := est.EstimateAoA(probes); err == nil {
+	if _, err := est.EstimateAoA(context.Background(), probes); err == nil {
 		t.Fatal("single probe accepted")
 	}
 	// SelectSector still works by falling back to the probed argmax.
-	sel, err := est.SelectSector(probes)
+	sel, err := est.SelectSector(context.Background(), probes)
 	if err != nil || !sel.Fallback {
 		t.Fatalf("fallback selection = %+v, %v", sel, err)
 	}
@@ -291,10 +292,10 @@ func TestRefinementImprovesResolution(t *testing.T) {
 	for trial := 0; trial < 80; trial++ {
 		truthAz := rng.Uniform(-60, 60)
 		probes := observe(t, gain, sector.TalonTX(), truthAz, 5, model, rng)
-		if a, err := refined.EstimateAoA(probes); err == nil {
+		if a, err := refined.EstimateAoA(context.Background(), probes); err == nil {
 			errR = append(errR, math.Abs(a.Az-truthAz))
 		}
-		if a, err := coarse.EstimateAoA(probes); err == nil {
+		if a, err := coarse.EstimateAoA(context.Background(), probes); err == nil {
 			errC = append(errC, math.Abs(a.Az-truthAz))
 		}
 	}

@@ -4,6 +4,7 @@ package core
 // broken pattern sets, hostile readings.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,10 +22,10 @@ func TestEstimatorAllProbesMissing(t *testing.T) {
 	for i := range probes {
 		probes[i] = Probe{Sector: sector.ID(i + 1)}
 	}
-	if _, err := est.EstimateAoA(probes); err == nil {
+	if _, err := est.EstimateAoA(context.Background(), probes); err == nil {
 		t.Fatal("all-missing probes estimated")
 	}
-	if _, err := est.SelectSector(probes); err == nil {
+	if _, err := est.SelectSector(context.Background(), probes); err == nil {
 		t.Fatal("all-missing probes selected")
 	}
 }
@@ -42,7 +43,7 @@ func TestEstimatorConstantReadings(t *testing.T) {
 			OK:     true,
 		}
 	}
-	sel, err := est.SelectSector(probes)
+	sel, err := est.SelectSector(context.Background(), probes)
 	if err != nil {
 		t.Fatalf("constant readings not handled: %v", err)
 	}
@@ -68,7 +69,7 @@ func TestEstimatorHostileOutliers(t *testing.T) {
 			probes[i].Meas.RSSI = -110
 		}
 	}
-	sel, err := est.SelectSector(probes)
+	sel, err := est.SelectSector(context.Background(), probes)
 	if err != nil {
 		t.Fatalf("hostile readings: %v", err)
 	}
@@ -108,7 +109,7 @@ func TestEstimatorPatternsWithHoles(t *testing.T) {
 		{Sector: 6, Meas: radio.Measurement{SNR: -2, RSSI: -74}, OK: true},
 		{Sector: 8, Meas: radio.Measurement{SNR: -6, RSSI: -78}, OK: true},
 	}
-	if _, err := est.EstimateAoA(probes); err != nil {
+	if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
 		t.Fatalf("holey patterns: %v", err)
 	}
 }
@@ -121,7 +122,7 @@ func TestEstimatorProbeForUnknownSector(t *testing.T) {
 	rng := stats.NewRNG(2)
 	probes := observe(t, gain, sector.TalonTX()[:8], -60, 5, quietModel(), rng)
 	probes = append(probes, Probe{Sector: 50, Meas: radio.Measurement{SNR: 11}, OK: true})
-	if _, err := est.EstimateAoA(probes); err != nil {
+	if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
 		t.Fatalf("unknown-sector probe: %v", err)
 	}
 }
@@ -145,11 +146,11 @@ func TestMultipathDegenerateVector(t *testing.T) {
 		{Sector: 2, Meas: radio.Measurement{SNR: 0, RSSI: -70}, OK: true},
 		{Sector: 3, Meas: radio.Measurement{SNR: 0, RSSI: -70}, OK: true},
 	}
-	if _, err := est.EstimateMultipath(probes, 3, 15, 0.2); err == nil {
+	if _, err := est.EstimateMultipath(context.Background(), probes, 3, 15, 0.2); err == nil {
 		t.Log("degenerate multipath accepted (flat surface) — acceptable if peaks are sane")
 	}
 	// SelectWithBackup must degrade gracefully either way.
-	sel, err := est.SelectWithBackup(probes, 15)
+	sel, err := est.SelectWithBackup(context.Background(), probes, 15)
 	if err != nil {
 		t.Fatalf("SelectWithBackup on degenerate vector: %v", err)
 	}

@@ -15,17 +15,9 @@ import (
 // paper cites as related work): it extracts up to k ranked local maxima
 // of the correlation surface, suppressing everything within minSepDeg of
 // an already-accepted peak, and drops peaks below relThresh times the
-// main peak's correlation.
-func (e *Estimator) EstimateMultipath(probes []Probe, k int, minSepDeg, relThresh float64) ([]AoAEstimate, error) {
-	return e.EstimateMultipathContext(context.Background(), probes, k, minSepDeg, relThresh)
-}
-
-// EstimateMultipathContext is EstimateMultipath with cancellation; ctx is
-// observed between grid rows of every cancellation round.
-func (e *Estimator) EstimateMultipathContext(ctx context.Context, probes []Probe, k int, minSepDeg, relThresh float64) ([]AoAEstimate, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
+// main peak's correlation. ctx is observed between grid rows of every
+// cancellation round.
+func (e *Estimator) EstimateMultipath(ctx context.Context, probes []Probe, k int, minSepDeg, relThresh float64) ([]AoAEstimate, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: multipath peak count %d must be positive", k)
 	}
@@ -206,22 +198,17 @@ type BackupSelection struct {
 
 // SelectWithBackup runs compressive selection and, when the correlation
 // surface exposes a distinct secondary path, also returns the best sector
-// toward it (guaranteed different from the primary sector).
-func (e *Estimator) SelectWithBackup(probes []Probe, minSepDeg float64) (BackupSelection, error) {
-	return e.SelectWithBackupContext(context.Background(), probes, minSepDeg)
-}
-
-// SelectWithBackupContext is SelectWithBackup with cancellation. A
-// cancelled context propagates ctx.Err() instead of degrading to the
-// single-sector fallback.
-func (e *Estimator) SelectWithBackupContext(ctx context.Context, probes []Probe, minSepDeg float64) (BackupSelection, error) {
-	peaks, err := e.EstimateMultipathContext(ctx, probes, 3, minSepDeg, 0.1)
+// toward it (guaranteed different from the primary sector). A cancelled
+// context propagates ctx.Err() instead of degrading to the single-sector
+// fallback.
+func (e *Estimator) SelectWithBackup(ctx context.Context, probes []Probe, minSepDeg float64) (BackupSelection, error) {
+	peaks, err := e.EstimateMultipath(ctx, probes, 3, minSepDeg, 0.1)
 	if err != nil {
 		if isCtxErr(err) {
 			return BackupSelection{}, err
 		}
 		// Degenerate surface: fall back like SelectSector does.
-		sel, serr := e.SelectSectorContext(ctx, probes)
+		sel, serr := e.SelectSector(ctx, probes)
 		if serr != nil {
 			return BackupSelection{}, serr
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestEstimateMultipathTwoPaths(t *testing.T) {
 	const trials = 20
 	for i := 0; i < trials; i++ {
 		probes := twoPathObserve(t, gain, sector.TalonTX(), az1, el1, az2, el2, 4, model, rng)
-		peaks, err := est.EstimateMultipath(probes, 3, 20, 0.1)
+		peaks, err := est.EstimateMultipath(context.Background(), probes, 3, 20, 0.1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func TestEstimateMultipathSeparation(t *testing.T) {
 	est, _ := NewEstimator(set, Options{})
 	rng := stats.NewRNG(2)
 	probes := twoPathObserve(t, gain, sector.TalonTX(), -30, 5, 40, 8, 5, quietModel(), rng)
-	peaks, err := est.EstimateMultipath(probes, 3, 25, 0.05)
+	peaks, err := est.EstimateMultipath(context.Background(), probes, 3, 25, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,10 +96,10 @@ func TestEstimateMultipathSeparation(t *testing.T) {
 func TestEstimateMultipathValidation(t *testing.T) {
 	set, _ := synthSetup(t)
 	est, _ := NewEstimator(set, Options{})
-	if _, err := est.EstimateMultipath(nil, 0, 10, 0.3); err == nil {
+	if _, err := est.EstimateMultipath(context.Background(), nil, 0, 10, 0.3); err == nil {
 		t.Error("k=0 accepted")
 	}
-	if _, err := est.EstimateMultipath(nil, 2, 10, 0.3); err == nil {
+	if _, err := est.EstimateMultipath(context.Background(), nil, 2, 10, 0.3); err == nil {
 		t.Error("no probes accepted")
 	}
 }
@@ -112,7 +113,7 @@ func TestSelectWithBackup(t *testing.T) {
 	const trials = 20
 	for i := 0; i < trials; i++ {
 		probes := twoPathObserve(t, gain, sector.TalonTX(), -40, 5, 35, 10, 4, model, rng)
-		sel, err := est.SelectWithBackup(probes, 20)
+		sel, err := est.SelectWithBackup(context.Background(), probes, 20)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestSelectWithBackupSinglePath(t *testing.T) {
 	est, _ := NewEstimator(set, Options{})
 	rng := stats.NewRNG(4)
 	probes := observe(t, gain, sector.TalonTX(), 10, 5, quietModel(), rng)
-	sel, err := est.SelectWithBackup(probes, 20)
+	sel, err := est.SelectWithBackup(context.Background(), probes, 20)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -42,13 +43,13 @@ func permute(probes []Probe, rng *stats.RNG) []Probe {
 func TestSelectionInvariantUnderProbePermutation(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
 		est, probes := propSetup(t, seed, 14)
-		base, err := est.SelectSector(probes)
+		base, err := est.SelectSector(context.Background(), probes)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		shuffler := stats.NewRNG(seed).Split("shuffle")
 		for round := 0; round < 5; round++ {
-			sel, err := est.SelectSector(permute(probes, shuffler))
+			sel, err := est.SelectSector(context.Background(), permute(probes, shuffler))
 			if err != nil {
 				t.Fatalf("seed %d round %d: %v", seed, round, err)
 			}
@@ -63,13 +64,13 @@ func TestSelectionInvariantUnderProbePermutation(t *testing.T) {
 func TestSelectionSurvivesAnySingleDroppedProbe(t *testing.T) {
 	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
 		est, probes := propSetup(t, seed, 14)
-		if _, err := est.SelectSector(probes); err != nil {
+		if _, err := est.SelectSector(context.Background(), probes); err != nil {
 			t.Fatalf("seed %d: baseline: %v", seed, err)
 		}
 		for drop := range probes {
 			maimed := append([]Probe(nil), probes...)
 			maimed[drop].OK = false
-			sel, err := est.SelectSector(maimed)
+			sel, err := est.SelectSector(context.Background(), maimed)
 			if err != nil {
 				t.Fatalf("seed %d: dropping probe %d (%v) broke selection: %v",
 					seed, drop, probes[drop].Sector, err)
@@ -88,14 +89,14 @@ func TestSelectionSurvivesAnySingleDroppedProbe(t *testing.T) {
 func TestSelectionAtMinimumProbes(t *testing.T) {
 	est, probes := propSetup(t, 7, 14)
 	two := append([]Probe(nil), probes[:2]...)
-	if _, err := est.SelectSector(two); err != nil {
+	if _, err := est.SelectSector(context.Background(), two); err != nil {
 		t.Fatalf("two probes must select (internal fallback allowed): %v", err)
 	}
 	none := append([]Probe(nil), probes...)
 	for i := range none {
 		none[i].OK = false
 	}
-	_, err := est.SelectSector(none)
+	_, err := est.SelectSector(context.Background(), none)
 	if !errors.Is(err, ErrTooFewProbes) {
 		t.Fatalf("all-missed vector: err = %v, want ErrTooFewProbes", err)
 	}

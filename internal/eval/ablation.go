@@ -145,7 +145,7 @@ func AblationProbeSelection(ctx context.Context, p *Platform, traces []testbed.T
 	for _, tr := range traces {
 		for _, sweep := range tr.Sweeps {
 			probes := core.ProbesFromMeasurements(informedSet.IDs(), sweep)
-			sel, err := p.Estimator.SelectSector(probes)
+			sel, err := p.Estimator.SelectSector(ctx, probes)
 			if err != nil {
 				continue
 			}
@@ -237,8 +237,9 @@ func AblationRandomBeams(seed int64, dist float64) (*AblationResult, error) {
 // alternates between dwelling and swinging to a new azimuth; the
 // controller should spend few probes while static and more while moving.
 // The study runs on the 3 m lab link, where selections are stable enough
-// while dwelling for the budget to shrink.
-func AblationAdaptiveProbes(p *Platform, steps int, rng *stats.RNG) (*AblationResult, error) {
+// while dwelling for the budget to shrink. ctx cancels the study between
+// training steps.
+func AblationAdaptiveProbes(ctx context.Context, p *Platform, steps int, rng *stats.RNG) (*AblationResult, error) {
 	if steps <= 0 {
 		steps = 120
 	}
@@ -254,6 +255,9 @@ func AblationAdaptiveProbes(p *Platform, steps int, rng *stats.RNG) (*AblationRe
 		count := 0
 		moveRNG := rng.Split("movement")
 		for step := 0; step < steps; step++ {
+			if err := ctx.Err(); err != nil {
+				return 0, 0, err
+			}
 			// Dwell for a while, then swing to a new direction.
 			if step%20 == 10 {
 				az = moveRNG.Uniform(-50, 50)
@@ -269,7 +273,7 @@ func AblationAdaptiveProbes(p *Platform, steps int, rng *stats.RNG) (*AblationRe
 				return 0, 0, err
 			}
 			probes := core.ProbesFromMeasurements(probeSet.IDs(), meas)
-			sel, err := p.Estimator.SelectSector(probes)
+			sel, err := p.Estimator.SelectSector(ctx, probes)
 			if err != nil {
 				continue
 			}

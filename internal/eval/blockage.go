@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,8 +37,9 @@ type BlockageResult struct {
 
 // BlockageStudy runs the experiment in the conference room: the devices
 // communicate over LOS, CSS with backup estimates both paths, then the
-// LOS is blocked and the backup takes over.
-func BlockageStudy(p *Platform, m, rounds int, rng *stats.RNG) (*BlockageResult, error) {
+// LOS is blocked and the backup takes over. ctx cancels the study
+// between rounds.
+func BlockageStudy(ctx context.Context, p *Platform, m, rounds int, rng *stats.RNG) (*BlockageResult, error) {
 	if m <= 0 {
 		m = 20
 	}
@@ -66,6 +68,9 @@ func BlockageStudy(p *Platform, m, rounds int, rng *stats.RNG) (*BlockageResult,
 	var primSum, backSum, blockPrimSum, blockBackSum, oracleSum float64
 	found := 0
 	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		probeSet, err := core.RandomProbes(rng, sector.TalonTX(), m)
 		if err != nil {
 			return nil, err
@@ -74,7 +79,7 @@ func BlockageStudy(p *Platform, m, rounds int, rng *stats.RNG) (*BlockageResult,
 		if err != nil {
 			return nil, err
 		}
-		sel, err := p.Estimator.SelectWithBackup(core.ProbesFromMeasurements(probeSet.IDs(), meas), 18)
+		sel, err := p.Estimator.SelectWithBackup(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas), 18)
 		if err != nil || !sel.HasBackup {
 			continue
 		}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -38,8 +39,8 @@ type DensifyResult struct {
 // budget m on codebooks of increasing size (up to the 6-bit maximum of
 // 63 sectors). The link is a 6 m LOS deployment; selections are judged by
 // the true-SNR loss against the codebook's own optimum and by the angle
-// estimation error (CSS only).
-func DensifyStudy(seed int64, m int, sizes []int, trials int, rng *stats.RNG) (*DensifyResult, error) {
+// estimation error (CSS only). ctx cancels the study between trials.
+func DensifyStudy(ctx context.Context, seed int64, m int, sizes []int, trials int, rng *stats.RNG) (*DensifyResult, error) {
 	if m <= 0 {
 		m = 14
 	}
@@ -93,6 +94,9 @@ func DensifyStudy(seed int64, m int, sizes []int, trials int, rng *stats.RNG) (*
 		runPolicy := func(name string, probeCount int, compressive bool) error {
 			var losses, azErrs []float64
 			for trial := 0; trial < trials; trial++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				dirAz := rng.Uniform(-60, 60)
 				var probeIDs []sector.ID
 				if probeCount >= len(txIDs) {
@@ -111,7 +115,7 @@ func DensifyStudy(seed int64, m int, sizes []int, trials int, rng *stats.RNG) (*
 				}
 				var pick sector.ID
 				if compressive {
-					sel, err := est.SelectSector(probes)
+					sel, err := est.SelectSector(ctx, probes)
 					if err != nil {
 						continue
 					}

@@ -244,7 +244,7 @@ func TestAblations(t *testing.T) {
 		t.Errorf("random beams not worse: %+v", beams.Rows)
 	}
 
-	adaptive, err := AblationAdaptiveProbes(s.Platform, 60, rng)
+	adaptive, err := AblationAdaptiveProbes(context.Background(), s.Platform, 60, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +259,7 @@ func TestAblations(t *testing.T) {
 
 func TestRetrainingStudy(t *testing.T) {
 	s := quickStudy(t)
-	r, err := RetrainingStudy(s.Platform, 20, 6*time.Second, stats.NewRNG(13))
+	r, err := RetrainingStudy(context.Background(), s.Platform, 20, 6*time.Second, stats.NewRNG(13))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -289,7 +289,7 @@ func TestRetrainingStudy(t *testing.T) {
 
 func TestBlockageStudy(t *testing.T) {
 	s := quickStudy(t)
-	r, err := BlockageStudy(s.Platform, 24, 16, stats.NewRNG(17))
+	r, err := BlockageStudy(context.Background(), s.Platform, 24, 16, stats.NewRNG(17))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +346,7 @@ func TestDensityStudy(t *testing.T) {
 }
 
 func TestDensifyStudy(t *testing.T) {
-	r, err := DensifyStudy(42, 14, []int{34, 63}, 40, stats.NewRNG(5))
+	r, err := DensifyStudy(context.Background(), 42, 14, []int{34, 63}, 40, stats.NewRNG(5))
 	if err != nil {
 		t.Fatal(err)
 	}

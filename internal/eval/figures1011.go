@@ -114,7 +114,7 @@ func Figure11(ctx context.Context, p *Platform, m int, sweeps int, rng *stats.RN
 				return nil, err
 			}
 			probes := core.ProbesFromMeasurements(probeSet.IDs(), sweep)
-			if sel, err := p.Estimator.SelectSector(probes); err == nil {
+			if sel, err := p.Estimator.SelectSector(ctx, probes); err == nil {
 				snr := tr.TrueSNR[sel.Sector]
 				cssTp = append(cssTp, model.AppThroughputMbps(snr, dot11ad.MutualTrainingTime(m)))
 			} else {

@@ -42,9 +42,6 @@ type EnvironmentStudy struct {
 // context cancels the campaign between its grid points, scan positions
 // and evaluation trials.
 func RunEnvironmentStudy(ctx context.Context, seed int64, f Fidelity) (*EnvironmentStudy, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	p, err := NewPlatform(ctx, seed, f.PatternGrid, f.CampaignRepeats)
 	if err != nil {
 		return nil, err

@@ -43,21 +43,21 @@ func parallelFor(ctx context.Context, n, workers int, fn func(i int)) error {
 		workers = 1
 	}
 	metWorkers.Set(int64(workers))
-	loopStart := time.Now()
+	loopStart := time.Now() //lint:allow determinism -- worker-utilization metrics time the wall clock by design
 	defer metLoopSeconds.ObserveSince(loopStart)
 	// busyNanos accumulates per-iteration time across workers; utilization
 	// is the busy fraction of workers x wall time for this loop.
 	var busyNanos atomic.Int64
 	defer func() {
-		wall := time.Since(loopStart)
+		wall := time.Since(loopStart) //lint:allow determinism -- worker-utilization metrics time the wall clock by design
 		if wall > 0 {
 			metWorkerUtilization.Set(float64(busyNanos.Load()) / (float64(workers) * float64(wall)))
 		}
 	}()
 	run := func(i int) {
-		start := time.Now()
+		start := time.Now() //lint:allow determinism -- worker-utilization metrics time the wall clock by design
 		fn(i)
-		busyNanos.Add(int64(time.Since(start)))
+		busyNanos.Add(int64(time.Since(start))) //lint:allow determinism -- worker-utilization metrics time the wall clock by design
 		metTrials.Inc()
 	}
 	if workers == 1 {

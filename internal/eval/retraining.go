@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -31,8 +32,9 @@ type RetrainingResult struct {
 
 // RetrainingStudy orbits the receiver around the transmitter at
 // degPerSec and runs the stock sweep and CSS at several retraining
-// cadences over the same trajectory.
-func RetrainingStudy(p *Platform, degPerSec float64, duration time.Duration, rng *stats.RNG) (*RetrainingResult, error) {
+// cadences over the same trajectory. ctx cancels the study between
+// session intervals.
+func RetrainingStudy(ctx context.Context, p *Platform, degPerSec float64, duration time.Duration, rng *stats.RNG) (*RetrainingResult, error) {
 	if duration <= 0 {
 		duration = 20 * time.Second
 	}
@@ -54,7 +56,7 @@ func RetrainingStudy(p *Platform, degPerSec float64, duration time.Duration, rng
 		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-100ms")}, 100 * time.Millisecond},
 	}
 	for _, v := range variants {
-		r, err := session.Run(link, p.DUT, p.Probe, v.policy, session.Config{
+		r, err := session.Run(ctx, link, p.DUT, p.Probe, v.policy, session.Config{
 			Duration:         duration,
 			TrainingInterval: v.interval,
 			Mobility:         session.OrbitMobility(3, degPerSec),

@@ -59,9 +59,6 @@ type TraceEval struct {
 // canonical (M, trace, sweep, subset) order, and aggregation replays that
 // order after the parallel phase. The context is observed between trials.
 func EvaluateTraces(ctx context.Context, envName string, traces []testbed.Trace, est *core.Estimator, ms []int, subsets int, rng *stats.RNG) (*TraceEval, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("eval: no traces for %s", envName)
 	}
@@ -123,7 +120,7 @@ func EvaluateTraces(ctx context.Context, envName string, traces []testbed.Trace,
 	}
 	results := make([]cssResult, len(jobs))
 	if err := parallelFor(ctx, len(jobs), Parallelism(), func(i int) {
-		sel, err := est.SelectSectorContext(ctx, jobs[i].probes)
+		sel, err := est.SelectSector(ctx, jobs[i].probes)
 		results[i] = cssResult{sel: sel, err: err}
 	}); err != nil {
 		return nil, err

@@ -3,13 +3,11 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
-	"flag"
-	"os"
 	"path/filepath"
 	"testing"
-)
 
-var update = flag.Bool("update", false, "rewrite golden files")
+	"talon/internal/testutil"
+)
 
 // TestSnapshotJSONGolden pins the metrics-JSON schema: a fresh registry
 // with one metric of each kind, deterministic values, compared
@@ -39,20 +37,5 @@ func TestSnapshotJSONGolden(t *testing.T) {
 	}
 	buf.WriteByte('\n')
 
-	golden := filepath.Join("testdata", "snapshot.golden")
-	if *update {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(buf.Bytes(), want) {
-		t.Errorf("snapshot JSON changed (run with -update if intended):\ngot:\n%swant:\n%s", buf.Bytes(), want)
-	}
+	testutil.Golden(t, filepath.Join("testdata", "snapshot.golden"), buf.Bytes())
 }

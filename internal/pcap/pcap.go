@@ -7,6 +7,7 @@ package pcap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -144,7 +145,7 @@ func (r *Reader) LinkType() LinkType { return r.linkType }
 func (r *Reader) Next() (Packet, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return Packet{}, io.EOF
 		}
 		return Packet{}, fmt.Errorf("pcap: record header: %w", err)
@@ -176,7 +177,7 @@ func (r *Reader) ReadAll() ([]Packet, error) {
 	var out []Packet
 	for {
 		p, err := r.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return out, nil
 		}
 		if err != nil {

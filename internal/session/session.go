@@ -6,6 +6,7 @@
 package session
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -23,8 +24,9 @@ type Policy interface {
 	// Name labels the policy in results.
 	Name() string
 	// Train probes the link from tx to rx and returns the chosen
-	// transmit sector plus the number of probes spent.
-	Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error)
+	// transmit sector plus the number of probes spent. ctx cancels the
+	// underlying estimation.
+	Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error)
 }
 
 // SSWPolicy is the stock full sector sweep.
@@ -34,7 +36,10 @@ type SSWPolicy struct{}
 func (SSWPolicy) Name() string { return "SSW" }
 
 // Train implements Policy: probe everything, pick the reported argmax.
-func (SSWPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (SSWPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
 	meas, err := link.RunTXSS(tx, rx, dot11ad.SweepSchedule())
 	if err != nil {
 		return 0, 0, err
@@ -60,7 +65,7 @@ type CSSPolicy struct {
 func (p *CSSPolicy) Name() string { return fmt.Sprintf("CSS-%d", p.M) }
 
 // Train implements Policy.
-func (p *CSSPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (p *CSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
 	probeSet, err := core.RandomProbes(p.RNG, sector.TalonTX(), p.M)
 	if err != nil {
 		return 0, 0, err
@@ -69,7 +74,7 @@ func (p *CSSPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, e
 	if err != nil {
 		return 0, 0, err
 	}
-	sel, err := p.Estimator.SelectSector(core.ProbesFromMeasurements(probeSet.IDs(), meas))
+	sel, err := p.Estimator.SelectSector(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas))
 	if err != nil {
 		return 0, p.M, err
 	}
@@ -87,9 +92,9 @@ type AdaptiveCSSPolicy struct {
 func (p *AdaptiveCSSPolicy) Name() string { return "CSS-adaptive" }
 
 // Train implements Policy.
-func (p *AdaptiveCSSPolicy) Train(link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (p *AdaptiveCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
 	inner := &CSSPolicy{Estimator: p.Estimator, M: p.Controller.M(), RNG: p.RNG}
-	id, probes, err := inner.Train(link, tx, rx)
+	id, probes, err := inner.Train(ctx, link, tx, rx)
 	if err == nil {
 		p.Controller.Observe(id)
 	}
@@ -148,8 +153,9 @@ type Result struct {
 // Run simulates the session: every TrainingInterval the policy retrains
 // (after Mobility moved the devices), and the interval's throughput is
 // computed from the selected sector's true SNR minus the training
-// airtime overhead.
-func Run(link *wil.Link, tx, rx *wil.Device, policy Policy, cfg Config) (*Result, error) {
+// airtime overhead. ctx is observed between training intervals; a
+// cancelled session returns ctx.Err().
+func Run(ctx context.Context, link *wil.Link, tx, rx *wil.Device, policy Policy, cfg Config) (*Result, error) {
 	if cfg.Duration <= 0 {
 		return nil, fmt.Errorf("session: duration must be positive")
 	}
@@ -178,10 +184,13 @@ func Run(link *wil.Link, tx, rx *wil.Device, policy Policy, cfg Config) (*Result
 	lossSum, lossN := 0.0, 0
 	tpSum := 0.0
 	for t := time.Duration(0); t < cfg.Duration; t += cfg.TrainingInterval {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if cfg.Mobility != nil {
 			cfg.Mobility(t, tx, rx)
 		}
-		id, probes, err := policy.Train(link, tx, rx)
+		id, probes, err := policy.Train(ctx, link, tx, rx)
 		res.TotalProbes += probes
 		trainFailed := err != nil
 		if !trainFailed {

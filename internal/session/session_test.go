@@ -71,14 +71,14 @@ func setup(t *testing.T) *fixture {
 
 func TestRunValidation(t *testing.T) {
 	f := setup(t)
-	if _, err := Run(f.link, f.tx, f.rx, SSWPolicy{}, Config{}); err == nil {
+	if _, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}, Config{}); err == nil {
 		t.Fatal("zero duration accepted")
 	}
 }
 
 func TestStaticSessionSSW(t *testing.T) {
 	f := setup(t)
-	res, err := Run(f.link, f.tx, f.rx, SSWPolicy{}, Config{
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}, Config{
 		Duration:         10 * time.Second,
 		TrainingInterval: time.Second,
 		EvalStep:         time.Second,
@@ -111,7 +111,7 @@ func TestStaticSessionCSS(t *testing.T) {
 	if css.Name() != "CSS-14" {
 		t.Fatalf("name = %q", css.Name())
 	}
-	res, err := Run(f.link, f.tx, f.rx, css, Config{
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, css, Config{
 		Duration:         10 * time.Second,
 		TrainingInterval: time.Second,
 		EvalStep:         time.Second,
@@ -130,7 +130,7 @@ func TestStaticSessionCSS(t *testing.T) {
 func TestMobilitySession(t *testing.T) {
 	f := setup(t)
 	css := &CSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(6)}
-	res, err := Run(f.link, f.tx, f.rx, css, Config{
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, css, Config{
 		Duration:         20 * time.Second,
 		TrainingInterval: 500 * time.Millisecond,
 		Mobility:         OrbitMobility(3, 12),
@@ -170,7 +170,7 @@ func TestAdaptivePolicySavesProbes(t *testing.T) {
 	if adaptive.Name() != "CSS-adaptive" {
 		t.Fatalf("name = %q", adaptive.Name())
 	}
-	res, err := Run(f.link, f.tx, f.rx, adaptive, Config{
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, adaptive, Config{
 		Duration:         30 * time.Second,
 		TrainingInterval: time.Second,
 		EvalStep:         time.Second,
@@ -189,7 +189,7 @@ func TestFasterRetrainingHelpsUnderMobility(t *testing.T) {
 	// The Section 7 argument: with mobility, CSS's cheap trainings can
 	// run more often; per-interval SNR loss shrinks versus a slow SSW
 	// cadence on the same trajectory.
-	slow, err := Run(f.link, f.tx, f.rx, SSWPolicy{}, Config{
+	slow, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}, Config{
 		Duration:         24 * time.Second,
 		TrainingInterval: 2 * time.Second,
 		Mobility:         OrbitMobility(3, 18),
@@ -197,7 +197,7 @@ func TestFasterRetrainingHelpsUnderMobility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := Run(f.link, f.tx, f.rx, &CSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(8)}, Config{
+	fast, err := Run(context.Background(), f.link, f.tx, f.rx, &CSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(8)}, Config{
 		Duration:         24 * time.Second,
 		TrainingInterval: 500 * time.Millisecond,
 		Mobility:         OrbitMobility(3, 18),

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// drain consumes n Float64 draws and returns them.
+func drain(g *RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = g.Float64()
+	}
+	return out
+}
+
+// TestRNGSeedDeterminism: the same seed must replay the identical
+// stream — the property every experiment's reproducibility rests on.
+func TestRNGSeedDeterminism(t *testing.T) {
+	a := drain(NewRNG(42), 64)
+	b := drain(NewRNG(42), 64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v != %v for the same seed", i, a[i], b[i])
+		}
+	}
+	c := drain(NewRNG(43), 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seeds 42 and 43 produced identical streams")
+	}
+}
+
+// TestRNGSplitIsolation: a child stream is fixed by (parent state,
+// label); what one child consumes must not shift a sibling's stream.
+func TestRNGSplitIsolation(t *testing.T) {
+	mk := func() (*RNG, *RNG) {
+		parent := NewRNG(7)
+		return parent.Split("noise"), parent.Split("probes")
+	}
+
+	n1, p1 := mk()
+	n2, p2 := mk()
+
+	// Consume the two sides in different interleavings; each child must
+	// see its own stream regardless.
+	drain(n1, 100) // n1 drains before p1 draws anything
+	a := drain(p1, 16)
+	b := drain(p2, 16) // p2 draws first on the second pair
+	drain(n2, 100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: sibling consumption shifted the %q stream", i, "probes")
+		}
+	}
+}
+
+// TestRNGSplitLabelSeparation: different labels must derive different
+// streams from the same parent state.
+func TestRNGSplitLabelSeparation(t *testing.T) {
+	a := drain(NewRNG(7).Split("alpha"), 32)
+	b := drain(NewRNG(7).Split("beta"), 32)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal(`Split("alpha") and Split("beta") produced identical streams`)
+	}
+}
+
+// TestRNGSplitReseed: re-seeding the parent replays the same children.
+func TestRNGSplitReseed(t *testing.T) {
+	a := drain(NewRNG(99).Split("x").Split("y"), 32)
+	b := drain(NewRNG(99).Split("x").Split("y"), 32)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: nested splits did not replay after re-seed", i)
+		}
+	}
+}
+
+// TestRNGSplitOrderSensitivity: Split consumes parent state, so the
+// split order is part of the contract — document it.
+func TestRNGSplitOrderSensitivity(t *testing.T) {
+	p1 := NewRNG(5)
+	first := drain(p1.Split("a"), 8)
+
+	p2 := NewRNG(5)
+	p2.Split("other") // advances the parent before "a" splits off
+	shifted := drain(p2.Split("a"), 8)
+
+	same := 0
+	for i := range first {
+		if first[i] == shifted[i] {
+			same++
+		}
+	}
+	if same == len(first) {
+		t.Fatal("an earlier sibling split did not advance the parent stream")
+	}
+}
+
+func TestRNGSample(t *testing.T) {
+	g := NewRNG(11)
+	s := g.Sample(34, 14)
+	if len(s) != 14 {
+		t.Fatalf("Sample(34, 14) returned %d values", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, v := range s {
+		if v < 0 || v >= 34 {
+			t.Fatalf("Sample value %d out of [0, 34)", v)
+		}
+		if seen[v] {
+			t.Fatalf("Sample value %d repeated", v)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample(3, 4) did not panic")
+		}
+	}()
+	g.Sample(3, 4)
+}
+
+func TestRNGDistributions(t *testing.T) {
+	g := NewRNG(3)
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.Uniform(2, 6)
+		if v < 2 || v >= 6 {
+			t.Fatalf("Uniform(2, 6) produced %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-4) > 0.1 {
+		t.Errorf("Uniform(2, 6) mean = %v, want ~4", mean)
+	}
+
+	sum = 0
+	for i := 0; i < n; i++ {
+		sum += g.Norm(10, 2)
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.1 {
+		t.Errorf("Norm(10, 2) mean = %v, want ~10", mean)
+	}
+
+	trues := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.25) {
+			trues++
+		}
+	}
+	if frac := float64(trues) / n; math.Abs(frac-0.25) > 0.02 {
+		t.Errorf("Bool(0.25) hit rate = %v, want ~0.25", frac)
+	}
+}

@@ -60,9 +60,6 @@ func (c *Campaign) defaults() {
 // context is observed between grid points; a cancelled campaign returns
 // ctx.Err().
 func (c *Campaign) MeasureTXPatterns(ctx context.Context, grid *geom.Grid) (*pattern.Set, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	c.defaults()
 	txIDs := sector.TalonTX()
 	raw := make(map[sector.ID]*pattern.Pattern, len(txIDs))
@@ -113,9 +110,6 @@ func (c *Campaign) MeasureTXPatterns(ctx context.Context, grid *geom.Grid) (*pat
 // switch, the fixed probe transmits on sector 63 only ("as it has a strong
 // unidirectional gain"), and the rotating DUT records what it receives.
 func (c *Campaign) MeasureRXPattern(ctx context.Context, grid *geom.Grid) (*pattern.Pattern, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	c.defaults()
 	p := pattern.New(grid)
 	slots := dot11ad.SubSweepSchedule(sector.NewSet(63))

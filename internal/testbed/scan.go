@@ -62,9 +62,6 @@ func ConferenceScan() ScanConfig {
 // The DUT transmits full sector sweeps; the probe records them. The
 // context is observed between positions.
 func RunScan(ctx context.Context, link *wil.Link, dut, probe *wil.Device, head *RotationHead, cfg ScanConfig) ([]Trace, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	if cfg.AzStep <= 0 || cfg.AzMax < cfg.AzMin {
 		return nil, fmt.Errorf("testbed: invalid azimuth range [%v, %v] step %v", cfg.AzMin, cfg.AzMax, cfg.AzStep)
 	}

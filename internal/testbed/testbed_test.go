@@ -212,7 +212,7 @@ func TestEndToEndCompressiveSelection(t *testing.T) {
 				t.Fatal(err)
 			}
 			probes := core.ProbesFromMeasurements(probeSet.IDs(), meas)
-			sel, err := est.SelectSector(probes)
+			sel, err := est.SelectSector(context.Background(), probes)
 			if err != nil {
 				lost++
 				continue

@@ -1,0 +1,43 @@
+// Package testutil holds helpers shared by the repo's test suites.
+package testutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update is the single definition of the -update flag; the golden-file
+// tests used to each register their own copy. One definition per test
+// binary is also what the flag package enforces.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Golden compares got byte-for-byte against the golden file at path.
+// With -update, the file (and its directory) is rewritten from got
+// first, so the comparison then passes and the diff shows up in review.
+func Golden(tb testing.TB, path string, got []byte) {
+	tb.Helper()
+	golden(tb, path, got, *update)
+}
+
+func golden(tb testing.TB, path string, got []byte, rewrite bool) {
+	tb.Helper()
+	if rewrite {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			tb.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatalf("%v (run with -update to regenerate)", err)
+		return
+	}
+	if !bytes.Equal(got, want) {
+		tb.Errorf("%s differs from golden (run with -update if intended):\ngot:\n%swant:\n%s", filepath.Base(path), got, want)
+	}
+}

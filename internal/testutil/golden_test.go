@@ -1,0 +1,95 @@
+package testutil
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeTB captures failures so golden's behavior can be asserted. Fatalf
+// panics with a sentinel (mirroring the control-flow stop of a real
+// Fatalf) that the helpers below recover.
+type fakeTB struct {
+	testing.TB
+	errors []string
+	fatals []string
+}
+
+type fatalSentinel struct{}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.errors = append(f.errors, format)
+}
+
+func (f *fakeTB) Fatal(args ...any) {
+	f.fatals = append(f.fatals, "fatal")
+	panic(fatalSentinel{})
+}
+
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatals = append(f.fatals, format)
+	panic(fatalSentinel{})
+}
+
+func runGolden(tb *fakeTB, path string, got []byte, rewrite bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fatalSentinel); !ok {
+				panic(r)
+			}
+		}
+	}()
+	golden(tb, path, got, rewrite)
+}
+
+func TestGoldenMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.golden")
+	if err := os.WriteFile(path, []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := &fakeTB{}
+	runGolden(tb, path, []byte("hello\n"), false)
+	if len(tb.errors)+len(tb.fatals) != 0 {
+		t.Errorf("matching content failed: errors=%v fatals=%v", tb.errors, tb.fatals)
+	}
+}
+
+func TestGoldenMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.golden")
+	if err := os.WriteFile(path, []byte("hello\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb := &fakeTB{}
+	runGolden(tb, path, []byte("changed\n"), false)
+	if len(tb.errors) != 1 || !strings.Contains(tb.errors[0], "differs from golden") {
+		t.Errorf("mismatch not reported: errors=%v", tb.errors)
+	}
+}
+
+func TestGoldenMissingFile(t *testing.T) {
+	tb := &fakeTB{}
+	runGolden(tb, filepath.Join(t.TempDir(), "absent.golden"), []byte("x"), false)
+	if len(tb.fatals) != 1 {
+		t.Errorf("missing golden file not fatal: fatals=%v", tb.fatals)
+	}
+}
+
+func TestGoldenUpdate(t *testing.T) {
+	// -update writes the file (creating directories) and then passes.
+	path := filepath.Join(t.TempDir(), "sub", "dir", "out.golden")
+	tb := &fakeTB{}
+	runGolden(tb, path, []byte("fresh\n"), true)
+	if len(tb.errors)+len(tb.fatals) != 0 {
+		t.Fatalf("update run failed: errors=%v fatals=%v", tb.errors, tb.fatals)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fresh\n" {
+		t.Errorf("golden file = %q, want %q", got, "fresh\n")
+	}
+}

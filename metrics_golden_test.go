@@ -1,22 +1,18 @@
 package talon_test
 
 import (
-	"bytes"
-	"flag"
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"talon/internal/obs"
+	"talon/internal/testutil"
 
 	// Blank imports link every metric-defining package into this test
 	// binary so the default registry holds the full metric inventory.
 	_ "talon/internal/eval"
 	_ "talon/internal/fault"
 )
-
-var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 // TestMetricNamesGolden pins the full metric inventory of the default
 // registry. Adding a metric is fine — regenerate with -update — but a
@@ -26,22 +22,7 @@ func TestMetricNamesGolden(t *testing.T) {
 	names := obs.Default().Names()
 	got := []byte(strings.Join(names, "\n") + "\n")
 
-	golden := filepath.Join("testdata", "metric_names.golden")
-	if *updateGolden {
-		if err := os.MkdirAll("testdata", 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, got, 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
-	want, err := os.ReadFile(golden)
-	if err != nil {
-		t.Fatalf("%v (run with -update to regenerate)", err)
-	}
-	if !bytes.Equal(got, want) {
-		t.Errorf("metric inventory changed (run with -update if intended):\ngot:\n%swant:\n%s", got, want)
-	}
+	testutil.Golden(t, filepath.Join("testdata", "metric_names.golden"), got)
 
 	// The fault layer and the resilient trainer must be represented.
 	joined := strings.Join(names, " ")

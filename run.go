@@ -265,7 +265,7 @@ func (t *Trainer) runOnce(ctx context.Context, tx, rx *Device, cfg *runConfig) (
 	res := &RunResult{}
 	estimate := cfg.tracer.StartSpan("trainer.estimate")
 	if cfg.backup {
-		backup, err := t.est.SelectWithBackupContext(ctx, probes, cfg.backupSep)
+		backup, err := t.est.SelectWithBackup(ctx, probes, cfg.backupSep)
 		estimate.End()
 		if err != nil {
 			return nil, err
@@ -273,7 +273,7 @@ func (t *Trainer) runOnce(ctx context.Context, tx, rx *Device, cfg *runConfig) (
 		res.Backup = &backup
 		res.Selection = backup.Primary
 	} else {
-		sel, err := t.est.SelectSectorContext(ctx, probes)
+		sel, err := t.est.SelectSector(ctx, probes)
 		estimate.End()
 		if err != nil {
 			return nil, err

@@ -40,16 +40,13 @@
 // Train* wrappers, and the campaign drivers in internal/eval — takes a
 // context.Context as its first parameter and returns ctx.Err() promptly
 // when it is cancelled (checked between grid points, probes and trials).
-// Deprecated *NoContext wrappers keep the old one-line call sites
-// working; they are scheduled for removal in the next major revision.
 //
 // # Construction
 //
 // NewTrainer takes functional options instead of positional knobs:
 // WithM sets the probe budget (default 14, the paper's operating point),
 // WithSeed the probing RNG seed, WithEstimatorOptions the estimator
-// tuning. The old positional constructor survives as the deprecated
-// NewTrainerLegacy.
+// tuning.
 //
 // # Errors
 //
@@ -203,14 +200,6 @@ func MeasurePatterns(ctx context.Context, dut, probe *Device, grid *Grid, repeat
 	return campaign.MeasureAllPatterns(ctx, grid)
 }
 
-// MeasurePatternsNoContext is MeasurePatterns without cancellation.
-//
-// Deprecated: use MeasurePatterns with a context. Scheduled for removal
-// in the next major revision.
-func MeasurePatternsNoContext(dut, probe *Device, grid *Grid, repeats int) (*PatternSet, error) {
-	return MeasurePatterns(context.Background(), dut, probe, grid, repeats)
-}
-
 // NewEstimator builds a CSS estimator over measured patterns and
 // precomputes its correlation dictionary. The set must not be mutated
 // afterwards.
@@ -300,15 +289,6 @@ func NewTrainer(link *Link, patterns *PatternSet, opts ...TrainerOption) (*Train
 	return &Trainer{link: link, est: est, m: cfg.m, rng: stats.NewRNG(cfg.seed)}, nil
 }
 
-// NewTrainerLegacy builds a trainer from the pre-options positional
-// signature.
-//
-// Deprecated: use NewTrainer with WithM and WithSeed. Scheduled for
-// removal in the next major revision.
-func NewTrainerLegacy(link *Link, patterns *PatternSet, m int, seed int64) (*Trainer, error) {
-	return NewTrainer(link, patterns, WithM(m), WithSeed(seed))
-}
-
 // M returns the probe budget per round.
 func (t *Trainer) M() int { return t.m }
 
@@ -340,14 +320,6 @@ func (t *Trainer) Train(ctx context.Context, tx, rx *Device) (*TrainResult, erro
 	return &res.TrainResult, nil
 }
 
-// TrainNoContext is Train without cancellation.
-//
-// Deprecated: use Run (or Train) with a context. Scheduled for removal
-// in the next major revision.
-func (t *Trainer) TrainNoContext(tx, rx *Device) (*TrainResult, error) {
-	return t.Train(context.Background(), tx, rx)
-}
-
 // TrainMutual runs the full protocol exchange: both sides sweep the same
 // probing subset inside one sector-level sweep, with the compressive
 // choice injected into the feedback fields through the firmware override.
@@ -360,14 +332,6 @@ func (t *Trainer) TrainMutual(ctx context.Context, initiator, responder *Device)
 		return nil, err
 	}
 	return &res.TrainResult, nil
-}
-
-// TrainMutualNoContext is TrainMutual without cancellation.
-//
-// Deprecated: use Run with Mutual (or TrainMutual) with a context.
-// Scheduled for removal in the next major revision.
-func (t *Trainer) TrainMutualNoContext(initiator, responder *Device) (*TrainResult, error) {
-	return t.TrainMutual(context.Background(), initiator, responder)
 }
 
 // TalonTXSectors lists the 34 predefined transmit sectors.
@@ -403,12 +367,4 @@ func (t *Trainer) TrainWithBackup(ctx context.Context, tx, rx *Device) (*TrainRe
 		return nil, BackupSelection{}, err
 	}
 	return &res.TrainResult, *res.Backup, nil
-}
-
-// TrainWithBackupNoContext is TrainWithBackup without cancellation.
-//
-// Deprecated: use Run with WithBackup (or TrainWithBackup) with a
-// context. Scheduled for removal in the next major revision.
-func (t *Trainer) TrainWithBackupNoContext(tx, rx *Device) (*TrainResult, BackupSelection, error) {
-	return t.TrainWithBackup(context.Background(), tx, rx)
 }
