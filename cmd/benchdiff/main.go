@@ -1,0 +1,185 @@
+// Command benchdiff records and compares Go benchmark results without
+// external tooling. It reads the text output of `go test -bench` on
+// stdin and either canonicalizes it to JSON (-record, the format of the
+// committed BENCH_engine.json baseline) or renders a benchstat-style
+// comparison against such a baseline (-against).
+//
+// Recording a baseline:
+//
+//	go test ./internal/core/ -run xxx -bench 'Estimate|SelectSector|Batch' \
+//	    -benchmem -benchtime 200ms | go run ./cmd/benchdiff -record > BENCH_engine.json
+//
+// Comparing a fresh run (advisory by default; -strict exits non-zero
+// when any benchmark slows down by more than -threshold):
+//
+//	go test ./internal/core/ -run xxx -bench ... | \
+//	    go run ./cmd/benchdiff -against BENCH_engine.json
+//
+// Benchmark names are normalized by stripping the trailing -GOMAXPROCS
+// suffix so baselines recorded on machines with different core counts
+// still line up. Comparisons are advisory by design: single-run deltas
+// on shared CI hardware are noisy, so CI runs them with -strict off and
+// a generous threshold, and regressions are triaged by a human.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result is one benchmark line in canonical form.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Baseline is the committed benchmark snapshot.
+type Baseline struct {
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches `BenchmarkFoo-8  1234  77458 ns/op ...`; the unit
+// fields after ns/op are parsed separately.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(.*)$`)
+	unitField = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+)
+
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		res := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		for _, u := range unitField.FindAllStringSubmatch(m[5], -1) {
+			v, err := strconv.ParseFloat(u[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad %s in %q: %w", u[2], sc.Text(), err)
+			}
+			switch u[2] {
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func record(results []Result, note string, w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Baseline{Note: note, Benchmarks: results})
+}
+
+// compare prints a delta table and returns the names of benchmarks whose
+// ns/op regressed beyond threshold (a fraction, e.g. 0.30 for +30%).
+func compare(baseline Baseline, fresh []Result, threshold float64, w io.Writer) []string {
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, r := range baseline.Benchmarks {
+		base[r.Name] = r
+	}
+	var regressed []string
+	fmt.Fprintf(w, "%-40s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, r := range fresh {
+		b, ok := base[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "%-40s %14s %14.0f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := r.NsPerOp/b.NsPerOp - 1
+		marker := ""
+		if delta > threshold {
+			marker = "  << regression"
+			regressed = append(regressed, r.Name)
+		}
+		fmt.Fprintf(w, "%-40s %14.0f %14.0f %+7.1f%%%s\n", r.Name, b.NsPerOp, r.NsPerOp, 100*delta, marker)
+		delete(base, r.Name)
+	}
+	var missing []string
+	for name := range base {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(w, "%-40s %14.0f %14s %8s\n", name, base[name].NsPerOp, "-", "gone")
+	}
+	return regressed
+}
+
+func main() {
+	var (
+		doRecord  = flag.Bool("record", false, "canonicalize `go test -bench` text from stdin to baseline JSON on stdout")
+		against   = flag.String("against", "", "baseline JSON `file` to compare stdin's bench text against")
+		strict    = flag.Bool("strict", false, "with -against: exit 1 when any benchmark regresses beyond -threshold")
+		threshold = flag.Float64("threshold", 0.30, "regression threshold as a fraction of baseline ns/op")
+		note      = flag.String("note", "", "free-form provenance note stored in the recorded baseline")
+	)
+	flag.Parse()
+	if *doRecord == (*against != "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -record or -against is required")
+		os.Exit(2)
+	}
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(2)
+	}
+	if *doRecord {
+		if err := record(results, *note, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		return
+	}
+	raw, err := os.ReadFile(*against)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	var baseline Baseline
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: parsing %s: %v\n", *against, err)
+		os.Exit(2)
+	}
+	regressed := compare(baseline, results, *threshold, os.Stdout)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) beyond +%.0f%%: %v\n",
+			len(regressed), 100**threshold, regressed)
+		if *strict {
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: talon/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkEstimateAoA_Hier-8     	   16036	     14884 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEstimateAoA_Engine     	    3541	     68544.5 ns/op	       2 B/op	       0 allocs/op
+PASS
+ok  	talon/internal/core	2.999s
+`
+
+func TestParseStripsGOMAXPROCSSuffixAndSorts(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(results))
+	}
+	if results[0].Name != "BenchmarkEstimateAoA_Engine" || results[1].Name != "BenchmarkEstimateAoA_Hier" {
+		t.Fatalf("names = %q, %q: want sorted, suffix-stripped", results[0].Name, results[1].Name)
+	}
+	if results[1].Iters != 16036 || results[1].NsPerOp != 14884 {
+		t.Fatalf("hier result = %+v", results[1])
+	}
+	if results[0].NsPerOp != 68544.5 || results[0].BytesPerOp != 2 {
+		t.Fatalf("engine result = %+v", results[0])
+	}
+}
+
+func TestCompareFlagsRegressionsOnly(t *testing.T) {
+	baseline := Baseline{Benchmarks: []Result{
+		{Name: "BenchmarkA", NsPerOp: 100},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkGone", NsPerOp: 100},
+	}}
+	fresh := []Result{
+		{Name: "BenchmarkA", NsPerOp: 125}, // within the 30% budget
+		{Name: "BenchmarkB", NsPerOp: 150}, // beyond it
+		{Name: "BenchmarkNew", NsPerOp: 10},
+	}
+	var buf strings.Builder
+	regressed := compare(baseline, fresh, 0.30, &buf)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want [BenchmarkB]", regressed)
+	}
+	out := buf.String()
+	for _, want := range []string{"<< regression", "new", "gone"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}

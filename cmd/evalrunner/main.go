@@ -26,6 +26,13 @@
 //	css        one end-to-end compressive training on the public API
 //	all        everything above
 //
+// Estimation: -exact forces the paper-faithful exhaustive grid search;
+// by default the estimators run the hierarchical coarse-to-fine search
+// (same selections on essentially all inputs, several times faster —
+// see DESIGN.md §12). -workers bounds the trial-loop parallelism; the
+// engine's internal sharding is capped automatically so trial workers ×
+// engine shards never oversubscribes GOMAXPROCS.
+//
 // Fault injection: -fault-rates sets the loss rates the faultsweep
 // experiment sweeps (comma-separated), -fault-burst the mean loss-burst
 // length in frames, -fault-trials the trials per rate and -fault-retries
@@ -48,6 +55,7 @@ import (
 	"time"
 
 	"talon/internal/channel"
+	"talon/internal/core"
 	"talon/internal/eval"
 	"talon/internal/obs"
 	"talon/internal/stats"
@@ -58,6 +66,7 @@ var (
 	seed       = flag.Int64("seed", 42, "experiment seed")
 	exp        = flag.String("exp", "all", "experiment to run")
 	workers    = flag.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
+	exact      = flag.Bool("exact", false, "force the paper-faithful exhaustive grid search instead of the hierarchical coarse-to-fine search")
 	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
 	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -71,6 +80,9 @@ var (
 func main() {
 	flag.Parse()
 	eval.SetParallelism(*workers)
+	if *exact {
+		eval.SetEstimatorOptions(core.Options{ExactSearch: true})
+	}
 	cleanup, err := obs.HookCLI(*metricsOut, *debugAddr, *cpuProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "evalrunner:", err)

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// TestEstimateZeroAllocSteadyState is the allocation-regression guard of
+// the estimate hot path: after the scratch pools are warm, one
+// EstimateAoA — hierarchical or exhaustive — must not allocate at all.
+// (testing.AllocsPerRun pins GOMAXPROCS to 1, so the exhaustive fill
+// takes its serial branch; the sharded branch's goroutine spawns are an
+// accepted multi-core cost, and the batch path disables them anyway.)
+func TestEstimateZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under the race detector")
+	}
+	set, gain := synthSetup(t)
+	rng := stats.NewRNG(41)
+	probes := observe(t, gain, sector.TalonTX(), 24, 9, quietModel(), rng)
+	ctx := context.Background()
+
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"hierarchical", Options{}},
+		{"exhaustive", Options{ExactSearch: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			est, err := NewEstimator(set, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the scratch pools.
+			for i := 0; i < 5; i++ {
+				if _, err := est.EstimateAoA(ctx, probes); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var estErr error
+			allocs := testing.AllocsPerRun(100, func() {
+				_, estErr = est.EstimateAoA(ctx, probes)
+			})
+			if estErr != nil {
+				t.Fatal(estErr)
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state EstimateAoA allocates %.1f times per call, want 0", allocs)
+			}
+		})
+	}
+}

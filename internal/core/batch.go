@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BatchResult pairs one batch item's selection with its error. Errors
+// are per item (a degenerate vector fails its item, not the batch) and
+// match what SelectSector would return for the same probes.
+type BatchResult struct {
+	Selection Selection
+	Err       error
+}
+
+// SelectSectorBatch runs the full CSS pipeline over a batch of
+// independent probe vectors on one persistent worker pool, amortizing
+// the per-call goroutine spawn and scratch churn of calling SelectSector
+// in a loop. Each item's estimate runs with engine sharding disabled
+// (the batch workers are the only parallelism), so the combined
+// goroutine count is exactly the worker count and nested fan-out cannot
+// oversubscribe GOMAXPROCS. workers <= 0 picks GOMAXPROCS; any value is
+// capped at GOMAXPROCS and at the batch size. Per-item results are
+// deterministic and identical to SelectSector at any worker count.
+//
+// ctx is observed between items and inside each item's grid search; on
+// cancellation the batch returns ctx.Err() and the results are
+// discarded.
+func (e *Estimator) SelectSectorBatch(ctx context.Context, batch [][]Probe, workers int) ([]BatchResult, error) {
+	n := len(batch)
+	if n == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	metBatches.Inc()
+	metBatchEstimates.Add(int64(n))
+	metBatchSize.Set(int64(n))
+	start := time.Now() //lint:allow determinism -- batch-latency histogram reads the wall clock by design
+	defer metBatchSeconds.ObserveSince(start)
+	if procs := runtime.GOMAXPROCS(0); workers <= 0 || workers > procs {
+		workers = procs
+	}
+	if workers > n {
+		workers = n
+	}
+	rounds := math.Ceil(float64(n) / float64(workers))
+	metBatchOccupancy.Set(float64(n) / (float64(workers) * rounds))
+
+	out := make([]BatchResult, n)
+	if workers == 1 {
+		for i := range batch {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			sel, err := e.selectShards(ctx, batch[i], 1)
+			out[i] = BatchResult{Selection: sel, Err: err}
+		}
+		return out, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				sel, err := e.selectShards(ctx, batch[i], 1)
+				out[i] = BatchResult{Selection: sel, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

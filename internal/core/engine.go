@@ -33,13 +33,27 @@ type engine struct {
 	// paths agree bit for bit.
 	dict []float64
 
-	surfaces sync.Pool // *[]float64 of len numAz*numEl
-	colBufs  sync.Pool // *[]int16 probe->column scratch
+	// Hierarchical coarse-to-fine search (see hier.go). coarse is a
+	// contiguous decimated copy of dict covering only the grid points
+	// (cElIdx[ci], cAzIdx[cj]), laid out [(ci*len(cAzIdx)+cj)*stride +
+	// col]. Empty when the hierarchy is disabled (ExactSearch, tiny
+	// grids, decimation < 2), in which case every estimate runs the
+	// exhaustive dense search.
+	coarse []float64
+	cAzIdx []int32 // dense az index of each coarse grid column
+	cElIdx []int32 // dense el index of each coarse grid row
+	winAz  int     // dense az radius refined around a candidate cell
+	winEl  int     // dense el radius refined around a candidate cell
+	topK   int     // coarse candidate cells refined per estimate
+
+	surfaces    sync.Pool // *[]float64 of len numAz*numEl
+	colBufs     sync.Pool // *[]int16 probe->column scratch
+	hierScratch sync.Pool // *hierScratch (see hier.go)
 }
 
 // newEngine precomputes the dictionary from the pattern set. Returns nil
 // when the set is empty (the estimator then has nothing to search).
-func newEngine(set *pattern.Set) *engine {
+func newEngine(set *pattern.Set, opts Options) *engine {
 	grid := set.Grid()
 	if grid == nil {
 		return nil
@@ -85,7 +99,73 @@ func newEngine(set *pattern.Set) *engine {
 		s := make([]int16, 0, 64)
 		return &s
 	}
+	en.buildCoarse(opts)
 	return en
+}
+
+// buildCoarse precomputes the decimated coarse dictionary of the
+// hierarchical search (hier.go) by copying every decim-th grid point out
+// of the dense dictionary. The last dense index of each axis is always
+// included so the refinement windows (radius (decim+1)/2) of the coarse
+// samples tile the whole dense grid. The hierarchy is skipped entirely —
+// leaving every estimate on the exhaustive dense search — when the
+// options demand exactness or the coarse grid would not actually be
+// smaller than the dense one.
+func (en *engine) buildCoarse(opts Options) {
+	if opts.ExactSearch {
+		return
+	}
+	decim := opts.CoarseDecim
+	if decim == 0 {
+		decim = DefaultCoarseDecim
+	}
+	topK := opts.TopK
+	if topK == 0 {
+		topK = DefaultTopK
+	}
+	if decim < 2 || topK < 1 {
+		return
+	}
+	numAz, numEl := len(en.az), len(en.el)
+	cAz := decimateIndices(numAz, decim)
+	cEl := decimateIndices(numEl, decim)
+	if len(cAz)*len(cEl) >= numAz*numEl {
+		return
+	}
+	en.cAzIdx, en.cElIdx = cAz, cEl
+	en.winAz = (decim + 1) / 2
+	en.winEl = (decim + 1) / 2
+	en.topK = topK
+	en.coarse = make([]float64, len(cAz)*len(cEl)*en.stride)
+	pos := 0
+	for _, ei := range cEl {
+		for _, ai := range cAz {
+			src := (int(ei)*numAz + int(ai)) * en.stride
+			copy(en.coarse[pos:pos+en.stride], en.dict[src:src+en.stride])
+			pos += en.stride
+		}
+	}
+	en.hierScratch.New = func() any {
+		metScratchMisses.Inc()
+		return newHierScratch(topK)
+	}
+}
+
+// hier reports whether the hierarchical coarse-to-fine search is built.
+func (en *engine) hier() bool { return len(en.coarse) > 0 }
+
+// decimateIndices returns every decim-th index of [0, n) plus the last
+// index, so consecutive selected indices are at most decim apart and the
+// axis endpoints are always sampled.
+func decimateIndices(n, decim int) []int32 {
+	out := make([]int32, 0, n/decim+2)
+	for i := 0; i < n; i += decim {
+		out = append(out, int32(i))
+	}
+	if last := int32(n - 1); len(out) == 0 || out[len(out)-1] != last {
+		out = append(out, last)
+	}
+	return out
 }
 
 // getSurface returns a pooled numAz*numEl correlation surface. Contents
@@ -118,6 +198,13 @@ func (en *engine) putCols(buf *[]int16) { en.colBufs.Put(buf) }
 // missing-component skips and guards, but with the pattern lookup
 // replaced by a contiguous dictionary read.
 func (en *engine) correlateAt(base int, cols []int16, lin []float64) float64 {
+	return correlateIn(en.dict, base, cols, lin)
+}
+
+// correlateIn is correlateAt over an explicit dictionary slice — the
+// dense dict or the decimated coarse copy; the math is identical either
+// way, so grid points present in both dictionaries score bit-identically.
+func correlateIn(dict []float64, base int, cols []int16, lin []float64) float64 {
 	var xs, ps [64]float64
 	used := 0
 	var sumP, sumX float64
@@ -125,7 +212,7 @@ func (en *engine) correlateAt(base int, cols []int16, lin []float64) float64 {
 		if c < 0 {
 			continue
 		}
-		x := en.dict[base+int(c)]
+		x := dict[base+int(c)]
 		if math.IsNaN(x) {
 			continue
 		}
@@ -158,32 +245,51 @@ func (en *engine) correlateAt(base int, cols []int16, lin []float64) float64 {
 	return w
 }
 
+// jointAt evaluates the joint Eq. 5 correlation at one dictionary base
+// offset. The serial path multiplies unconditionally; when the SNR
+// correlation is exactly 0 the product is identically 0, so skipping the
+// RSSI correlate is value-preserving. Both the dense fill and the
+// hierarchical search go through this helper, so every grid point they
+// share computes bit-identical values.
+func (en *engine) jointAt(pt int, cols []int16, snrLin, rssiLin []float64, snrOnly bool) float64 {
+	return jointIn(en.dict, pt, cols, snrLin, rssiLin, snrOnly)
+}
+
+// jointIn is jointAt over an explicit dictionary slice.
+func jointIn(dict []float64, pt int, cols []int16, snrLin, rssiLin []float64, snrOnly bool) float64 {
+	v := correlateIn(dict, pt, cols, snrLin)
+	if v != 0 && !snrOnly {
+		v *= correlateIn(dict, pt, cols, rssiLin)
+	}
+	return v
+}
+
 // fillRow computes one elevation row of the joint correlation surface.
 func (en *engine) fillRow(w []float64, ei int, cols []int16, snrLin, rssiLin []float64, snrOnly bool) {
 	numAz := len(en.az)
 	row := w[ei*numAz : (ei+1)*numAz]
 	base := ei * numAz * en.stride
 	for ai := range row {
-		pt := base + ai*en.stride
-		v := en.correlateAt(pt, cols, snrLin)
-		if v != 0 && !snrOnly {
-			// The serial path multiplies unconditionally; when the SNR
-			// correlation is exactly 0 the product is identically 0, so
-			// skipping the RSSI correlate is value-preserving.
-			v *= en.correlateAt(pt, cols, rssiLin)
-		}
-		row[ai] = v
+		row[ai] = en.jointAt(base+ai*en.stride, cols, snrLin, rssiLin, snrOnly)
 	}
 }
 
 // fill computes the whole surface, sharding elevation rows across a
-// worker pool sized to GOMAXPROCS. Rows are independent, so the result
-// is identical to the serial row order regardless of scheduling. Workers
+// worker pool sized to GOMAXPROCS (further bounded by SetMaxShards and,
+// when maxW > 0, by maxW — the batch path passes 1 so batch workers are
+// the only parallelism). Rows are independent, so the result is
+// identical to the serial row order regardless of scheduling. Workers
 // observe ctx between rows; on cancellation the surface contents are
 // unspecified and ctx.Err() is returned.
-func (en *engine) fill(ctx context.Context, w []float64, cols []int16, snrLin, rssiLin []float64, snrOnly bool) error {
+func (en *engine) fill(ctx context.Context, w []float64, cols []int16, snrLin, rssiLin []float64, snrOnly bool, maxW int) error {
 	numEl := len(en.el)
 	workers := runtime.GOMAXPROCS(0)
+	if ms := MaxShards(); ms > 0 && workers > ms {
+		workers = ms
+	}
+	if maxW > 0 && workers > maxW {
+		workers = maxW
+	}
 	if workers > numEl {
 		workers = numEl
 	}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"talon/internal/pattern"
@@ -74,6 +75,20 @@ type Options struct {
 	// floor level anti-correlates directions where that sector should
 	// have been strong, suppressing aliased estimates.
 	NoImputeMissing bool
+	// ExactSearch disables the hierarchical coarse-to-fine search and
+	// forces the exhaustive dense grid scan, preserving bit-for-bit the
+	// paper-faithful behaviour of the original engine (and of the serial
+	// reference path) on every input. The default hierarchical search
+	// matches it on all but adversarial surfaces at a fraction of the
+	// cost; see hier.go and DESIGN.md §12 for the trade-off.
+	ExactSearch bool
+	// CoarseDecim is the per-axis decimation factor of the hierarchical
+	// coarse grid. 0 picks DefaultCoarseDecim; values below 2 disable
+	// the hierarchy (equivalent to ExactSearch).
+	CoarseDecim int
+	// TopK is the number of coarse candidate cells the hierarchical
+	// search refines on the dense grid. 0 picks DefaultTopK.
+	TopK int
 }
 
 // DefaultFallbackCorr is the default reliability threshold. Joint Eq. 5
@@ -100,6 +115,19 @@ type Estimator struct {
 	// en is the precomputed correlation engine (see engine.go), built
 	// once at construction from a snapshot of the pattern set.
 	en *engine
+	// txIDs caches patterns.TXIDs() (the set is immutable after
+	// construction) so per-selection Eq. 4 scans allocate nothing.
+	txIDs []sector.ID
+	// gathers pools gather scratch so the steady-state estimate path
+	// allocates nothing per call.
+	gathers sync.Pool
+}
+
+// gatherScratch holds the pooled measurement-vector buffers of one
+// estimate.
+type gatherScratch struct {
+	ids       []sector.ID
+	snr, rssi []float64
 }
 
 // NewEstimator builds an estimator over the measured patterns and
@@ -109,7 +137,12 @@ func NewEstimator(patterns *pattern.Set, opts Options) (*Estimator, error) {
 	if patterns == nil || len(patterns.TXIDs()) < 2 {
 		return nil, errors.New("core: estimator needs a pattern set with at least 2 TX sectors")
 	}
-	return &Estimator{patterns: patterns, opts: opts, en: newEngine(patterns)}, nil
+	e := &Estimator{patterns: patterns, opts: opts, en: newEngine(patterns, opts), txIDs: patterns.TXIDs()}
+	e.gathers.New = func() any {
+		metScratchMisses.Inc()
+		return &gatherScratch{}
+	}
+	return e, nil
 }
 
 // Patterns returns the pattern set the estimator searches.
@@ -166,6 +199,40 @@ func (e *Estimator) gatherVectors(probes []Probe) (ids []sector.ID, snrLin, rssi
 		}
 	}
 	return ids, snrLin, rssiLin, reported
+}
+
+// gatherInto is gatherVectors into pooled scratch: identical selection,
+// imputation and ordering, but appending into g's recycled buffers so
+// the steady-state estimate path allocates nothing.
+func (e *Estimator) gatherInto(g *gatherScratch, probes []Probe) (reported int) {
+	minSNR, minRSSI := math.Inf(1), math.Inf(1)
+	for _, p := range probes {
+		if !p.OK {
+			continue
+		}
+		reported++
+		if p.Meas.SNR < minSNR {
+			minSNR = p.Meas.SNR
+		}
+		if p.Meas.RSSI < minRSSI {
+			minRSSI = p.Meas.RSSI
+		}
+	}
+	g.ids, g.snr, g.rssi = g.ids[:0], g.snr[:0], g.rssi[:0]
+	impute := !e.opts.NoImputeMissing && reported > 0
+	for _, p := range probes {
+		switch {
+		case p.OK:
+			g.ids = append(g.ids, p.Sector)
+			g.snr = append(g.snr, amp(p.Meas.SNR))
+			g.rssi = append(g.rssi, amp(p.Meas.RSSI))
+		case impute:
+			g.ids = append(g.ids, p.Sector)
+			g.snr = append(g.snr, amp(minSNR-1))
+			g.rssi = append(g.rssi, amp(minRSSI-1))
+		}
+	}
+	return reported
 }
 
 // correlate implements Eq. 2: the squared normalized correlation of the
@@ -233,15 +300,28 @@ func (e *Estimator) Correlation(probes []Probe, az, el float64) float64 {
 }
 
 // EstimateAoA maximizes the correlation over the pattern grid (Eq. 3),
-// optionally refining the maximum between grid points. The search runs on
-// the precomputed correlation engine; EstimateAoASerial is the retained
-// reference implementation, and the two agree bit for bit. ctx is
+// optionally refining the maximum between grid points. The search runs
+// on the precomputed correlation engine: hierarchically (coarse pass,
+// top-K dense refinement, exhaustive fallback — see hier.go) unless
+// Options.ExactSearch pins it to the exhaustive dense scan, which agrees
+// bit for bit with the retained EstimateAoASerial reference. ctx is
 // observed between grid rows, and a cancelled search returns ctx.Err().
 func (e *Estimator) EstimateAoA(ctx context.Context, probes []Probe) (AoAEstimate, error) {
+	return e.estimate(ctx, probes, 0)
+}
+
+// estimate is the engine-backed estimate shared by EstimateAoA and the
+// batch path; maxShards > 0 additionally caps the dense fill's worker
+// count (the batch path passes 1 so its own workers are the only
+// parallelism).
+func (e *Estimator) estimate(ctx context.Context, probes []Probe, maxShards int) (AoAEstimate, error) {
 	metEstimates.Inc()
 	start := time.Now() //lint:allow determinism -- estimate-latency histogram reads the wall clock by design
 	defer metEstimateSeconds.ObserveSince(start)
-	ids, snrLin, rssiLin, reported := e.gatherVectors(probes)
+	metScratchGets.Inc()
+	g := e.gathers.Get().(*gatherScratch)
+	defer e.gathers.Put(g)
+	reported := e.gatherInto(g, probes)
 	if reported < 2 {
 		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
 	}
@@ -249,12 +329,38 @@ func (e *Estimator) EstimateAoA(ctx context.Context, probes []Probe) (AoAEstimat
 	if en == nil {
 		return AoAEstimate{}, errors.New("core: empty pattern set")
 	}
+	colBuf := en.probeCols(g.ids)
+	defer en.putCols(colBuf)
+	cols := *colBuf
+	snrOnly := e.opts.SNROnly
+	if en.hier() {
+		metHierEstimates.Inc()
+		bestA, bestE, bestW, ok, err := en.searchHier(ctx, cols, g.snr, g.rssi, snrOnly)
+		if err != nil {
+			return AoAEstimate{}, err
+		}
+		if ok {
+			az, el := en.az[bestA], en.el[bestE]
+			if !e.opts.NoRefine {
+				numAz := len(en.az)
+				az = refineAxis(en.az, bestA, func(i int) float64 {
+					return en.jointAt((bestE*numAz+i)*en.stride, cols, g.snr, g.rssi, snrOnly)
+				})
+				el = refineAxis(en.el, bestE, func(i int) float64 {
+					return en.jointAt((i*numAz+bestA)*en.stride, cols, g.snr, g.rssi, snrOnly)
+				})
+			}
+			return AoAEstimate{Az: az, El: el, Corr: bestW, Used: reported}, nil
+		}
+		// No positive coarse cell: fall back to the exhaustive scan so
+		// hierarchical mode keeps the exact path's disaster-guard
+		// semantics on degenerate surfaces.
+		metHierFallbacks.Inc()
+	}
 	surf := en.getSurface()
 	defer en.putSurface(surf)
-	colBuf := en.probeCols(ids)
-	defer en.putCols(colBuf)
 	w := *surf
-	if err := en.fill(ctx, w, *colBuf, snrLin, rssiLin, e.opts.SNROnly); err != nil {
+	if err := en.fill(ctx, w, cols, g.snr, g.rssi, snrOnly, maxShards); err != nil {
 		return AoAEstimate{}, err
 	}
 	bestA, bestE, bestW := en.argmax(w)
@@ -401,8 +507,13 @@ const (
 // over the probed sectors. A cancelled context propagates ctx.Err()
 // instead of degrading to the sweep fallback.
 func (e *Estimator) SelectSector(ctx context.Context, probes []Probe) (Selection, error) {
+	return e.selectShards(ctx, probes, 0)
+}
+
+// selectShards is SelectSector with the batch path's engine-shard cap.
+func (e *Estimator) selectShards(ctx context.Context, probes []Probe, maxShards int) (Selection, error) {
 	metSelectEngine.Inc()
-	aoa, err := e.EstimateAoA(ctx, probes)
+	aoa, err := e.estimate(ctx, probes, maxShards)
 	if err != nil && isCtxErr(err) {
 		return Selection{}, err
 	}
@@ -429,11 +540,33 @@ func (e *Estimator) finishSelection(probes []Probe, aoa AoAEstimate, err error) 
 		metSelectFallback.Inc()
 		return Selection{Sector: id, Gain: math.NaN(), AoA: aoa, Fallback: true}, nil
 	}
-	id, gain := e.patterns.BestSector(aoa.Az, aoa.El)
+	id, gain := e.bestSector(aoa.Az, aoa.El)
 	if math.IsNaN(gain) {
 		return Selection{}, errors.New("core: pattern set has no usable TX sector")
 	}
 	return Selection{Sector: id, Gain: gain, AoA: aoa}, nil
+}
+
+// bestSector is pattern.Set.BestSector over the cached TX ID order —
+// the same ascending scan and strictly-greater update, minus the
+// per-call ID sort and its allocation.
+func (e *Estimator) bestSector(az, el float64) (sector.ID, float64) {
+	best, bestGain := sector.RX, math.Inf(-1)
+	found := false
+	for _, id := range e.txIDs {
+		g := e.patterns.Get(id).At(az, el)
+		if math.IsNaN(g) {
+			continue
+		}
+		if g > bestGain {
+			best, bestGain = id, g
+			found = true
+		}
+	}
+	if !found {
+		return sector.RX, math.NaN()
+	}
+	return best, bestGain
 }
 
 // isCtxErr reports whether err is a context cancellation or deadline.

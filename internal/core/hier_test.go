@@ -1,0 +1,340 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"talon/internal/channel"
+	"talon/internal/dot11ad"
+	"talon/internal/fault"
+	"talon/internal/geom"
+	"talon/internal/radio"
+	"talon/internal/sector"
+	"talon/internal/stats"
+	"talon/internal/testbed"
+	"talon/internal/wil"
+)
+
+// coarseDiag is the diagonal of one coarse cell of est's hierarchical
+// search, in degrees — the equivalence bound of the ISSUE's acceptance
+// criteria.
+func coarseDiag(t testing.TB, est *Estimator) float64 {
+	t.Helper()
+	en := est.en
+	if !en.hier() {
+		t.Fatal("estimator has no hierarchical search built")
+	}
+	azStep := en.az[1] - en.az[0]
+	elStep := 0.0
+	if len(en.el) > 1 {
+		elStep = en.el[1] - en.el[0]
+	}
+	return math.Hypot(float64(DefaultCoarseDecim)*azStep, float64(DefaultCoarseDecim)*elStep)
+}
+
+// equivCounter tallies one hierarchical-vs-exhaustive comparison.
+type equivCounter struct {
+	trials, mismatches int
+}
+
+// compare checks one probe vector on both estimators: error classes must
+// agree exactly (the hierarchical path falls back to the exhaustive scan
+// before it can fail differently); on success the selected sector must
+// match and the AoA estimates must stay within diag degrees.
+func (c *equivCounter) compare(t *testing.T, label string, hier, exact *Estimator, probes []Probe, diag float64) {
+	t.Helper()
+	ctx := context.Background()
+	hSel, hErr := hier.SelectSector(ctx, probes)
+	xSel, xErr := exact.SelectSector(ctx, probes)
+	if (hErr == nil) != (xErr == nil) {
+		t.Fatalf("%s: error parity broken: hier %v, exact %v", label, hErr, xErr)
+	}
+	if hErr != nil {
+		for _, sentinel := range []error{ErrTooFewProbes, ErrDegenerateSurface} {
+			if errors.Is(hErr, sentinel) != errors.Is(xErr, sentinel) {
+				t.Fatalf("%s: sentinel parity broken: hier %v, exact %v", label, hErr, xErr)
+			}
+		}
+		return
+	}
+	c.trials++
+	if hSel.Sector != xSel.Sector {
+		c.mismatches++
+		return
+	}
+	if !hSel.Fallback && !xSel.Fallback {
+		dAz := math.Abs(geom.WrapAz(hSel.AoA.Az - xSel.AoA.Az))
+		dEl := math.Abs(hSel.AoA.El - xSel.AoA.El)
+		if math.Hypot(dAz, dEl) > diag {
+			c.mismatches++
+		}
+	}
+}
+
+// assertRate enforces the acceptance criterion: the hierarchical search
+// must agree with the exhaustive one on at least 99% of the trials.
+func (c *equivCounter) assertRate(t *testing.T, minTrials int) {
+	t.Helper()
+	if c.trials < minTrials {
+		t.Fatalf("only %d successful equivalence trials, want >= %d", c.trials, minTrials)
+	}
+	budget := c.trials / 100
+	if c.mismatches > budget {
+		t.Fatalf("hierarchical search diverged on %d of %d trials (budget %d)",
+			c.mismatches, c.trials, budget)
+	}
+	t.Logf("hier-vs-exact: %d trials, %d divergences", c.trials, c.mismatches)
+}
+
+// TestHierMatchesExhaustiveClean runs the seeded clean-channel
+// equivalence suite: across probe budgets and noisy observations from
+// the default firmware defect model, the hierarchical search must select
+// the exhaustive search's sector and land within one coarse-cell
+// diagonal of its angle estimate.
+func TestHierMatchesExhaustiveClean(t *testing.T) {
+	set, gain := synthSetup(t)
+	hier, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewEstimator(set, Options{ExactSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hier.en.hier() {
+		t.Fatal("default options did not build the hierarchical search")
+	}
+	if exact.en.hier() {
+		t.Fatal("ExactSearch built a coarse dictionary")
+	}
+	diag := coarseDiag(t, hier)
+
+	hierBefore := metHierEstimates.Value()
+	model := radio.DefaultMeasurementModel()
+	rng := stats.NewRNG(23)
+	available := sector.TalonTX()
+	var c equivCounter
+	for _, m := range []int{8, 14, 24} {
+		for trial := 0; trial < 40; trial++ {
+			ps, err := RandomProbes(rng, available, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			az := -78 + 156*rng.Float64()
+			el := 28 * rng.Float64()
+			probes := observe(t, gain, ps.IDs(), az, el, model, rng)
+			c.compare(t, fmt.Sprintf("m=%d trial=%d", m, trial), hier, exact, probes, diag)
+		}
+	}
+	c.assertRate(t, 100)
+	if metHierEstimates.Value() == hierBefore {
+		t.Fatal("no estimate was routed through the hierarchical search")
+	}
+}
+
+// TestHierMatchesExhaustiveFaultyChannel repeats the equivalence suite
+// on probe vectors produced by a real simulated link — patterns measured
+// by the chamber campaign, probing sweeps run over a lab channel with
+// the fault.Standard60GHz impairment chain (burst loss, RSSI drift,
+// stale feedback, ring drops, transient WMI faults) injected.
+func TestHierMatchesExhaustiveFaultyChannel(t *testing.T) {
+	dut, err := wil.NewDevice(wil.Config{
+		Name: "hier-dut",
+		MAC:  dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x21},
+		Seed: 402,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, err := wil.NewDevice(wil.Config{
+		Name: "hier-probe",
+		MAC:  dot11ad.MACAddr{0x50, 0xc7, 0xbf, 0, 0, 0x22},
+		Seed: 403,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dut.Jailbreak(); err != nil {
+		t.Fatal(err)
+	}
+	if err := probe.Jailbreak(); err != nil {
+		t.Fatal(err)
+	}
+	grid, err := geom.UniformGrid(-70, 70, 5, 0, 24, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chamber := wil.NewLink(channel.AnechoicChamber(), dut, probe)
+	campaign := testbed.NewChamberCampaign(chamber, dut, probe, 404)
+	campaign.Repeats = 1
+	patterns, err := campaign.MeasureAllPatterns(context.Background(), grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := NewEstimator(patterns, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewEstimator(patterns, Options{ExactSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := coarseDiag(t, hier)
+
+	dutPose, probePose := testbed.FacingPoses(3, 1.2)
+	dut.SetPose(dutPose)
+	probe.SetPose(probePose)
+	link := wil.NewLink(channel.Lab(), dut, probe)
+	link.SetInjector(fault.Standard60GHz(0.15, 4, 405))
+
+	rng := stats.NewRNG(29)
+	available := sector.TalonTX()
+	var c equivCounter
+	for trial := 0; trial < 140; trial++ {
+		// Swing the probe device on an arc so trials cover directions.
+		az := -60 + 120*rng.Float64()
+		rad := az * math.Pi / 180
+		pose := probePose
+		pose.Pos.X = dutPose.Pos.X + 3*math.Cos(rad)
+		pose.Pos.Y = dutPose.Pos.Y + 3*math.Sin(rad)
+		pose.Yaw = 180 + az
+		probe.SetPose(pose)
+
+		ps, err := RandomProbes(rng, available, 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := link.RunTXSS(dut, probe, dot11ad.SubSweepSchedule(ps))
+		if err != nil {
+			// An injected transient fault killed the whole sweep before
+			// estimation; nothing to compare on this trial.
+			continue
+		}
+		probes := ProbesFromMeasurements(ps.IDs(), meas)
+		c.compare(t, fmt.Sprintf("trial=%d", trial), hier, exact, probes, diag)
+	}
+	c.assertRate(t, 100)
+}
+
+// TestHierDegenerateSurface checks the exhaustive fallback: with only
+// two reported probes the Pearson correlation is zero at every grid
+// point, the coarse pass keeps no candidate, and the hierarchical path
+// must degrade to the exhaustive scan and fail with the same
+// ErrDegenerateSurface sentinel as exact mode.
+func TestHierDegenerateSurface(t *testing.T) {
+	set, _ := synthSetup(t)
+	hier, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewEstimator(set, Options{ExactSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sector.TalonTX()
+	probes := []Probe{
+		{Sector: ids[0], Meas: radio.Measurement{SNR: 7, RSSI: -55}, OK: true},
+		{Sector: ids[5], Meas: radio.Measurement{SNR: 9, RSSI: -52}, OK: true},
+	}
+	fallbacksBefore := metHierFallbacks.Value()
+	_, hErr := hier.EstimateAoA(context.Background(), probes)
+	_, xErr := exact.EstimateAoA(context.Background(), probes)
+	if !errors.Is(hErr, ErrDegenerateSurface) {
+		t.Fatalf("hier: want ErrDegenerateSurface, got %v", hErr)
+	}
+	if !errors.Is(xErr, ErrDegenerateSurface) {
+		t.Fatalf("exact: want ErrDegenerateSurface, got %v", xErr)
+	}
+	if metHierFallbacks.Value() == fallbacksBefore {
+		t.Fatal("degenerate surface did not route through the exhaustive fallback")
+	}
+}
+
+// TestHierMinimumProbes pins the minimum-probes edge cases: one reported
+// probe is rejected by both paths with ErrTooFewProbes, two reported
+// probes pass the gate but yield a degenerate surface on both paths
+// (Pearson correlation needs three components), and three probes — the
+// smallest estimable vector — must produce the same selection.
+func TestHierMinimumProbes(t *testing.T) {
+	set, gain := synthSetup(t)
+	hier, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewEstimator(set, Options{ExactSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := coarseDiag(t, hier)
+	rng := stats.NewRNG(31)
+	model := quietModel()
+	ids := sector.TalonTX()
+
+	for n := 1; n <= 2; n++ {
+		probes := observe(t, gain, ids[:n], 10, 6, model, rng)
+		_, hErr := hier.EstimateAoA(context.Background(), probes)
+		_, xErr := exact.EstimateAoA(context.Background(), probes)
+		want := ErrTooFewProbes
+		if n == 2 {
+			want = ErrDegenerateSurface
+		}
+		if !errors.Is(hErr, want) {
+			t.Fatalf("n=%d hier: want %v, got %v", n, want, hErr)
+		}
+		if !errors.Is(xErr, want) {
+			t.Fatalf("n=%d exact: want %v, got %v", n, want, xErr)
+		}
+	}
+
+	var c equivCounter
+	for trial := 0; trial < 20; trial++ {
+		ps, err := RandomProbes(rng, ids, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		az := -70 + 140*rng.Float64()
+		probes := observe(t, gain, ps.IDs(), az, 8, model, rng)
+		c.compare(t, fmt.Sprintf("min-probes trial=%d", trial), hier, exact, probes, diag)
+	}
+	if c.trials == 0 {
+		t.Fatal("no three-probe trial produced an estimate on either path")
+	}
+	if c.mismatches > 0 {
+		t.Fatalf("three-probe selections diverged on %d of %d trials", c.mismatches, c.trials)
+	}
+}
+
+// TestCoarseDecimOptions pins the option plumbing: decimation below two
+// disables the hierarchy, and a custom decimation/top-K pair builds a
+// correspondingly sized coarse grid.
+func TestCoarseDecimOptions(t *testing.T) {
+	set, _ := synthSetup(t)
+	off, err := NewEstimator(set, Options{CoarseDecim: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.en.hier() {
+		t.Fatal("CoarseDecim=1 still built the hierarchy")
+	}
+	custom, err := NewEstimator(set, Options{CoarseDecim: 8, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !custom.en.hier() {
+		t.Fatal("CoarseDecim=8 did not build the hierarchy")
+	}
+	if custom.en.topK != 2 {
+		t.Fatalf("topK = %d, want 2", custom.en.topK)
+	}
+	numAz := len(custom.en.az)
+	wantCAz := (numAz-1)/8 + 1
+	if last := custom.en.cAzIdx[len(custom.en.cAzIdx)-1]; int(last) != numAz-1 {
+		t.Fatalf("coarse az grid does not include the last dense index: %d != %d", last, numAz-1)
+	}
+	if got := len(custom.en.cAzIdx); got < wantCAz {
+		t.Fatalf("coarse az samples = %d, want >= %d", got, wantCAz)
+	}
+}

@@ -29,4 +29,26 @@ var (
 		"selections that fell back to the probed-sector argmax")
 	metDegenerate = obs.NewCounter("core_surface_degenerate_total",
 		"estimates aborted on a degenerate correlation surface")
+	metHierEstimates = obs.NewCounter("core_hier_estimates_total",
+		"estimates routed through the hierarchical coarse-to-fine search")
+	metHierFallbacks = obs.NewCounter("core_hier_fallbacks_total",
+		"hierarchical estimates that fell back to the exhaustive dense scan")
+	metHierCoarseSeconds = obs.NewHistogram("core_hier_coarse_seconds",
+		"wall time of the hierarchical coarse pass", nil)
+	metHierRefineSeconds = obs.NewHistogram("core_hier_refine_seconds",
+		"wall time of the hierarchical dense refinement", nil)
+	metHierCellsRefined = obs.NewCounter("core_hier_cells_refined_total",
+		"coarse candidate cells refined on the dense grid")
+	metHierPruningRatio = obs.NewFloatGauge("core_hier_pruning_ratio",
+		"fraction of dense grid points the most recent hierarchical estimate skipped")
+	metBatches = obs.NewCounter("core_batches_total",
+		"SelectSectorBatch calls")
+	metBatchEstimates = obs.NewCounter("core_batch_estimates_total",
+		"selections run through the batched estimation path")
+	metBatchSeconds = obs.NewHistogram("core_batch_seconds",
+		"wall time of one SelectSectorBatch call", obs.LatencyBuckets)
+	metBatchSize = obs.NewGauge("core_batch_size",
+		"item count of the most recent batch")
+	metBatchOccupancy = obs.NewFloatGauge("core_batch_occupancy",
+		"worker-slot occupancy of the most recent batch (items / workers x rounds)")
 )

@@ -1,0 +1,29 @@
+package core
+
+import "sync/atomic"
+
+// maxShardsKnob caps the worker goroutines one correlation-surface fill
+// may spawn; 0 means uncapped (GOMAXPROCS). See SetMaxShards.
+var maxShardsKnob atomic.Int32
+
+// SetMaxShards bounds the per-estimate row sharding of the correlation
+// engine and returns the previous bound. 0 (the default) leaves the
+// engine free to use GOMAXPROCS workers; 1 forces serial fills.
+//
+// The cap exists so outer trial-level parallelism (eval campaigns, the
+// batch estimation path) can reserve the machine for itself: an outer
+// pool of W workers each spawning GOMAXPROCS engine shards would run
+// W×GOMAXPROCS goroutines of pure CPU work, oversubscribing the
+// scheduler for no throughput gain. Outer loops set the cap to
+// GOMAXPROCS/W around their fan-out and restore the previous value
+// afterwards. Results are unaffected at any setting — sharding never
+// changes the surface contents, only how rows are distributed.
+func SetMaxShards(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(maxShardsKnob.Swap(int32(n)))
+}
+
+// MaxShards returns the current engine shard cap; 0 means uncapped.
+func MaxShards() int { return int(maxShardsKnob.Load()) }

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+func TestSetMaxShardsSwap(t *testing.T) {
+	defer SetMaxShards(SetMaxShards(0))
+	if prev := SetMaxShards(3); prev != 0 {
+		t.Fatalf("SetMaxShards(3) returned %d, want previous 0", prev)
+	}
+	if got := MaxShards(); got != 3 {
+		t.Fatalf("MaxShards() = %d, want 3", got)
+	}
+	if prev := SetMaxShards(-5); prev != 3 {
+		t.Fatalf("SetMaxShards(-5) returned %d, want previous 3", prev)
+	}
+	if got := MaxShards(); got != 0 {
+		t.Fatalf("MaxShards() after negative set = %d, want 0 (uncapped)", got)
+	}
+}
+
+// TestMaxShardsCapsEngineFanOut is the oversubscription regression test:
+// with GOMAXPROCS raised above 1, an uncapped exhaustive estimate shards
+// its rows (metRowsSharded advances) while a cap of 1 forces the serial
+// fill, which is what outer worker pools rely on to keep the combined
+// goroutine count at their own worker count.
+func TestMaxShardsCapsEngineFanOut(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	defer SetMaxShards(SetMaxShards(0))
+
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{ExactSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(99)
+	probes := observe(t, gain, sector.TalonTX(), -30, 12, quietModel(), rng)
+	ctx := context.Background()
+
+	SetMaxShards(0)
+	before := metRowsSharded.Value()
+	uncapped, err := est.EstimateAoA(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metRowsSharded.Value() == before {
+		t.Fatal("uncapped estimate at GOMAXPROCS=4 did not shard any rows")
+	}
+
+	SetMaxShards(1)
+	before = metRowsSharded.Value()
+	capped, err := est.EstimateAoA(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := metRowsSharded.Value(); got != before {
+		t.Fatalf("capped estimate sharded rows (counter %d -> %d), want serial fill", before, got)
+	}
+	if capped != uncapped {
+		t.Fatalf("shard cap changed the estimate: capped %+v, uncapped %+v", capped, uncapped)
+	}
+}

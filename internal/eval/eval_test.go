@@ -263,7 +263,7 @@ func TestRetrainingStudy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Points) != 5 {
+	if len(r.Points) != 6 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
 	byKey := map[string]RetrainingPoint{}

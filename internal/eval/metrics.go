@@ -13,4 +13,6 @@ var (
 		"busy fraction of the most recent trial loop (busy time / workers x wall time)")
 	metLoopSeconds = obs.NewHistogram("eval_loop_seconds",
 		"wall time of trial loops", obs.LatencyBuckets)
+	metBatchTrials = obs.NewCounter("eval_batch_trials_total",
+		"trace-evaluation trials run through the batched estimation path")
 )

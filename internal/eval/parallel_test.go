@@ -1,0 +1,54 @@
+package eval
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"talon/internal/core"
+)
+
+// TestParallelForCapsEngineShards is the nested-parallelism regression
+// test: while trial workers run, the core engine's shard cap must be
+// GOMAXPROCS/workers (at least 1) so workers x shards cannot exceed the
+// machine, and the previous cap must be restored once the loop returns.
+func TestParallelForCapsEngineShards(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prevProcs)
+	outer := core.SetMaxShards(5)
+	defer core.SetMaxShards(outer)
+
+	var seen atomic.Int32
+	if err := parallelFor(context.Background(), 8, 4, func(int) {
+		seen.Store(int32(core.MaxShards()))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got != 2 { // GOMAXPROCS(8) / workers(4)
+		t.Fatalf("shard cap inside parallelFor = %d, want 2", got)
+	}
+	if got := core.MaxShards(); got != 5 {
+		t.Fatalf("shard cap after parallelFor = %d, want previous value 5 restored", got)
+	}
+
+	// Oversubscribed worker counts still leave at least one shard.
+	if err := parallelFor(context.Background(), 16, 16, func(int) {
+		seen.Store(int32(core.MaxShards()))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got != 1 {
+		t.Fatalf("shard cap with workers > GOMAXPROCS = %d, want 1", got)
+	}
+
+	// Serial loops leave the cap alone.
+	if err := parallelFor(context.Background(), 2, 1, func(int) {
+		seen.Store(int32(core.MaxShards()))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := seen.Load(); got != 5 {
+		t.Fatalf("shard cap inside serial parallelFor = %d, want untouched 5", got)
+	}
+}

@@ -11,6 +11,7 @@ package eval
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"talon/internal/channel"
 	"talon/internal/core"
@@ -34,6 +35,32 @@ type Platform struct {
 	Patterns *pattern.Set
 	// Estimator is the CSS estimator over Patterns.
 	Estimator *core.Estimator
+}
+
+// estimatorOpts is the process-wide estimator configuration of
+// NewPlatform; see SetEstimatorOptions.
+var (
+	estimatorOptsMu sync.Mutex
+	estimatorOpts   core.Options
+)
+
+// SetEstimatorOptions overrides the estimator options every subsequently
+// built Platform uses (the zero value — the default — runs the
+// hierarchical coarse-to-fine search; core.Options{ExactSearch: true}
+// restores the paper-faithful exhaustive scan). Like SetParallelism it
+// is a campaign-level knob, surfaced as evalrunner's -exact flag; set it
+// before building platforms, not concurrently with them.
+func SetEstimatorOptions(opts core.Options) {
+	estimatorOptsMu.Lock()
+	defer estimatorOptsMu.Unlock()
+	estimatorOpts = opts
+}
+
+// EstimatorOptions returns the options SetEstimatorOptions installed.
+func EstimatorOptions() core.Options {
+	estimatorOptsMu.Lock()
+	defer estimatorOptsMu.Unlock()
+	return estimatorOpts
 }
 
 // NewPlatform creates the devices and runs the chamber pattern campaign
@@ -69,7 +96,7 @@ func NewPlatform(ctx context.Context, seed int64, grid *geom.Grid, repeats int) 
 	if err != nil {
 		return nil, fmt.Errorf("eval: pattern campaign: %w", err)
 	}
-	est, err := core.NewEstimator(patterns, core.Options{})
+	est, err := core.NewEstimator(patterns, EstimatorOptions())
 	if err != nil {
 		return nil, err
 	}

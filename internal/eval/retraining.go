@@ -54,6 +54,7 @@ func RetrainingStudy(ctx context.Context, p *Platform, degPerSec float64, durati
 		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-1s")}, time.Second},
 		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-250ms")}, 250 * time.Millisecond},
 		{&session.CSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-100ms")}, 100 * time.Millisecond},
+		{&session.EnsembleCSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-ens-250ms")}, 250 * time.Millisecond},
 	}
 	for _, v := range variants {
 		r, err := session.Run(ctx, link, p.DUT, p.Probe, v.policy, session.Config{

@@ -113,18 +113,21 @@ func EvaluateTraces(ctx context.Context, envName string, traces []testbed.Trace,
 		}
 	}
 
-	// Phase 2: run the independent selections in parallel.
-	type cssResult struct {
-		sel core.Selection
-		err error
+	// Phase 2: run the independent selections through the batched
+	// estimation path — one persistent worker pool over the whole
+	// campaign's probe vectors instead of per-call fan-out, with engine
+	// sharding disabled inside each item so trial workers are the only
+	// parallelism.
+	probesList := make([][]core.Probe, len(jobs))
+	for i := range jobs {
+		probesList[i] = jobs[i].probes
 	}
-	results := make([]cssResult, len(jobs))
-	if err := parallelFor(ctx, len(jobs), Parallelism(), func(i int) {
-		sel, err := est.SelectSector(ctx, jobs[i].probes)
-		results[i] = cssResult{sel: sel, err: err}
-	}); err != nil {
+	results, err := est.SelectSectorBatch(ctx, probesList, Parallelism())
+	if err != nil {
 		return nil, err
 	}
+	metTrials.Add(int64(len(jobs)))
+	metBatchTrials.Add(int64(len(jobs)))
 
 	// Phase 3: aggregate serially in the canonical order.
 	perM := make([]*MStats, len(ms))
@@ -135,7 +138,7 @@ func EvaluateTraces(ctx context.Context, envName string, traces []testbed.Trace,
 	for i, job := range jobs {
 		st := perM[job.mIdx]
 		tr := traces[job.trIdx]
-		sel, err := results[i].sel, results[i].err
+		sel, err := results[i].Selection, results[i].Err
 		if err != nil {
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, err

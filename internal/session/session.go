@@ -81,6 +81,76 @@ func (p *CSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Devic
 	return sel.Sector, p.M, nil
 }
 
+// EnsembleCSSPolicy is compressive selection hardened by a leave-one-out
+// ensemble: one probing round, then the full measurement vector plus
+// every leave-one-out resample of it are estimated together through the
+// batched estimation path, and the round adopts the majority sector.
+// A single corrupted reading can only swing one ensemble member, so the
+// vote damps the outlier sensitivity of plain CSS at zero extra airtime
+// — the resamples reuse the same over-the-air probes, and the batch API
+// keeps the extra estimates off the per-call fan-out path.
+type EnsembleCSSPolicy struct {
+	// Estimator must be built from tx's measured patterns.
+	Estimator *core.Estimator
+	// M is the probe budget.
+	M int
+	// RNG draws the probing subsets.
+	RNG *stats.RNG
+}
+
+// Name implements Policy.
+func (p *EnsembleCSSPolicy) Name() string { return fmt.Sprintf("CSS-%d-ens", p.M) }
+
+// Train implements Policy.
+func (p *EnsembleCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+	probeSet, err := core.RandomProbes(p.RNG, sector.TalonTX(), p.M)
+	if err != nil {
+		return 0, 0, err
+	}
+	meas, err := link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
+	if err != nil {
+		return 0, 0, err
+	}
+	probes := core.ProbesFromMeasurements(probeSet.IDs(), meas)
+
+	// Item 0 is the full vector; items 1..n drop one reported probe each.
+	batch := make([][]core.Probe, 0, len(probes)+1)
+	batch = append(batch, probes)
+	for i := range probes {
+		if !probes[i].OK {
+			continue
+		}
+		loo := make([]core.Probe, len(probes))
+		copy(loo, probes)
+		loo[i].OK = false
+		batch = append(batch, loo)
+	}
+	results, err := p.Estimator.SelectSectorBatch(ctx, batch, 0)
+	if err != nil {
+		return 0, p.M, err
+	}
+	if results[0].Err != nil {
+		// Without a full-vector selection the round fails outright; the
+		// resamples carry strictly less information.
+		return 0, p.M, results[0].Err
+	}
+	// Majority vote; ties go to the full-vector selection, then to the
+	// lower sector ID, so the outcome is deterministic.
+	var votes [256]int
+	for _, r := range results {
+		if r.Err == nil {
+			votes[r.Selection.Sector]++
+		}
+	}
+	best := results[0].Selection.Sector
+	for id := range votes {
+		if votes[id] > votes[best] {
+			best = sector.ID(id)
+		}
+	}
+	return best, p.M, nil
+}
+
 // AdaptiveCSSPolicy wraps CSS with the adaptive probe-count controller.
 type AdaptiveCSSPolicy struct {
 	Estimator  *core.Estimator

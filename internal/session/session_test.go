@@ -10,6 +10,7 @@ import (
 	"talon/internal/core"
 	"talon/internal/dot11ad"
 	"talon/internal/geom"
+	"talon/internal/sector"
 	"talon/internal/stats"
 	"talon/internal/testbed"
 	"talon/internal/wil"
@@ -212,5 +213,47 @@ func TestFasterRetrainingHelpsUnderMobility(t *testing.T) {
 	}
 	if math.IsNaN(fast.MeanThroughputMbps) || fast.MeanThroughputMbps <= 0 {
 		t.Fatalf("fast throughput = %v", fast.MeanThroughputMbps)
+	}
+}
+
+func TestEnsembleCSSPolicy(t *testing.T) {
+	f := setup(t)
+	ens := &EnsembleCSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(12)}
+	if ens.Name() != "CSS-14-ens" {
+		t.Fatalf("name = %q", ens.Name())
+	}
+	// A direct training round: valid sector, probe cost equal to the
+	// budget (the leave-one-out resamples reuse the same airtime).
+	id, probes, err := ens.Train(context.Background(), f.link, f.tx, f.rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probes != 14 {
+		t.Fatalf("probe cost = %d, want the budget 14", probes)
+	}
+	valid := false
+	for _, txID := range sector.TalonTX() {
+		if id == txID {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		t.Fatalf("trained sector %d outside the TX codebook", id)
+	}
+	// And a full session: the ensemble must hold CSS-grade throughput.
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, ens, Config{
+		Duration:         10 * time.Second,
+		TrainingInterval: time.Second,
+		EvalStep:         time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalProbes != 140 {
+		t.Fatalf("probes = %d", res.TotalProbes)
+	}
+	if res.MeanThroughputMbps < 700 {
+		t.Fatalf("ensemble CSS throughput = %v Mbps", res.MeanThroughputMbps)
 	}
 }

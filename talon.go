@@ -241,6 +241,7 @@ type trainerConfig struct {
 	m       int
 	seed    int64
 	estOpts EstimatorOptions
+	exact   bool
 }
 
 // DefaultM is the probe budget a Trainer uses unless WithM overrides it:
@@ -264,6 +265,17 @@ func WithEstimatorOptions(opts EstimatorOptions) TrainerOption {
 	return func(c *trainerConfig) { c.estOpts = opts }
 }
 
+// WithExactSearch forces the paper-faithful exhaustive grid search
+// instead of the default hierarchical coarse-to-fine search. The
+// hierarchical search selects the same sector on essentially all
+// realistic probe vectors at a fraction of the cost (see DESIGN.md §12);
+// exact mode preserves the original engine's bit-for-bit behaviour for
+// audits and regression baselines. Composes with WithEstimatorOptions
+// regardless of option order.
+func WithExactSearch() TrainerOption {
+	return func(c *trainerConfig) { c.exact = true }
+}
+
 // NewTrainer builds a trainer over link using the transmitter's measured
 // pattern set, configured by functional options:
 //
@@ -275,6 +287,9 @@ func NewTrainer(link *Link, patterns *PatternSet, opts ...TrainerOption) (*Train
 	cfg := trainerConfig{m: DefaultM, seed: 1}
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.exact {
+		cfg.estOpts.ExactSearch = true
 	}
 	if link == nil {
 		return nil, fmt.Errorf("talon: trainer needs a link")
