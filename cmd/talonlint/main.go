@@ -12,10 +12,10 @@
 //	senterr      sentinel errors matched with errors.Is, wrapped with %w
 //
 // determinism and ctxfirst are scoped to the deterministic library
-// packages (internal/{core,eval,fault,wil,channel,stats,testbed});
-// metricname and senterr apply module-wide. cmd/ binaries own their
-// roots and wall clocks by design. Findings are suppressed line-by-line
-// with `//lint:allow <analyzer> -- <reason>`.
+// packages (internal/{core,eval,fault,wil,channel,stats,testbed,
+// session,fleet}); metricname and senterr apply module-wide. cmd/
+// binaries own their roots and wall clocks by design. Findings are
+// suppressed line-by-line with `//lint:allow <analyzer> -- <reason>`.
 //
 // Exit status is 1 when any finding survives, so CI can require it.
 package main
@@ -32,7 +32,7 @@ import (
 
 // scopedRe matches the import paths of the deterministic library
 // packages that determinism and ctxfirst bind.
-var scopedRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed)(/|$)`)
+var scopedRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed|session|fleet)(/|$)`)
 
 func main() {
 	golden := flag.String("golden", "", "metric inventory file (default <module>/testdata/metric_names.golden)")

@@ -57,12 +57,11 @@ func RetrainingStudy(ctx context.Context, p *Platform, degPerSec float64, durati
 		{&session.EnsembleCSSPolicy{Estimator: p.Estimator, M: 14, RNG: rng.Split("css-ens-250ms")}, 250 * time.Millisecond},
 	}
 	for _, v := range variants {
-		r, err := session.Run(ctx, link, p.DUT, p.Probe, v.policy, session.Config{
-			Duration:         duration,
-			TrainingInterval: v.interval,
-			Mobility:         session.OrbitMobility(3, degPerSec),
-			EvalStep:         100 * time.Millisecond,
-		})
+		r, err := session.Run(ctx, link, p.DUT, p.Probe, v.policy,
+			session.WithDuration(duration),
+			session.WithTrainingInterval(v.interval),
+			session.WithMobility(session.OrbitMobility(3, degPerSec)),
+			session.WithEvalStep(100*time.Millisecond))
 		if err != nil {
 			return nil, err
 		}

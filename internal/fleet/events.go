@@ -1,0 +1,66 @@
+package fleet
+
+import "time"
+
+// StationID identifies one station↔AP link in the fleet. IDs are
+// assigned by the workload (monotonically in the simulator) and shard by
+// their low bits.
+type StationID uint64
+
+// EventKind classifies the external events that drive the fleet: the
+// arrival/churn/mobility/blockage/fault processes of the workload.
+type EventKind uint8
+
+// The external event kinds.
+const (
+	// EventArrival adds a station at the carried geometry.
+	EventArrival EventKind = iota
+	// EventDeparture removes a station (churn).
+	EventDeparture
+	// EventMobility changes a station's azimuth drift velocity.
+	EventMobility
+	// EventBlockage attenuates a station's link for a while; the tracked
+	// link degrades and retrains through its fallback machinery.
+	EventBlockage
+	// EventFault makes the station's next training round lose a fraction
+	// of its probe reports (a firmware/ring impairment burst).
+	EventFault
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventArrival:
+		return "arrival"
+	case EventDeparture:
+		return "departure"
+	case EventMobility:
+		return "mobility"
+	case EventBlockage:
+		return "blockage"
+	case EventFault:
+		return "fault"
+	}
+	return "invalid"
+}
+
+// Event is one external stimulus for a station. Only the fields relevant
+// to the Kind are read.
+type Event struct {
+	Kind    EventKind
+	Station StationID
+
+	// Arrival geometry: direction from the AP in the AP's pattern frame
+	// and distance in meters.
+	AzDeg, ElDeg, DistM float64
+	// Arrival / mobility: azimuth drift velocity in degrees per second
+	// of virtual time.
+	DriftDegPerSec float64
+
+	// Blockage severity and duration (virtual time).
+	AttenDB  float64
+	Duration time.Duration
+
+	// Fault: fraction of the next round's probe reports lost.
+	LossFrac float64
+}

@@ -1,0 +1,387 @@
+// Package fleet is the fleet-scale alignment service: a sharded session
+// manager that runs every station↔AP link through the deterministic
+// lifecycle state machine (idle → train → track → degrade → retrain) and
+// funnels ALL sector estimation through core.SelectSectorBatch, so a
+// single worker pool amortizes the per-link estimation cost across tens
+// of thousands to millions of concurrent links.
+//
+// The package trades the frame-level fidelity of internal/wil for a
+// lightweight per-station channel model (~100 bytes per link): reference
+// SNR, log-distance pathloss and the measured 3D sector patterns, with
+// the firmware defect model of internal/radio applied probe by probe.
+// Everything is driven by virtual time in fixed epochs, so a fixed seed
+// reproduces the same fleet byte for byte at any shard or worker count.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"talon/internal/core"
+	"talon/internal/pattern"
+	"talon/internal/radio"
+	"talon/internal/sector"
+)
+
+// config is Manager's tunable surface, set through Options.
+type config struct {
+	shards           int
+	seed             int64
+	epoch            time.Duration
+	probeBudget      int
+	retrainInterval  time.Duration
+	degradeDropDB    float64
+	degradedBackoff  time.Duration
+	capacity         int
+	batchWorkers     int
+	maxBatch         int
+	queueDepth       int
+	lossSampleStride uint64
+	refSNRDB         float64
+}
+
+// Option configures a Manager.
+type Option func(*config)
+
+// WithShards sets the shard count (rounded up to a power of two so
+// stations shard by masking their low ID bits). Default 256.
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithSeed sets the fleet seed that every per-station, per-round
+// probing stream derives from. Default 1.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithEpoch sets the virtual-time length of one Step. Default 100ms.
+func WithEpoch(d time.Duration) Option { return func(c *config) { c.epoch = d } }
+
+// WithProbeBudget sets the compressive probe count M per training round.
+// Default 14 (the paper's sweet spot).
+func WithProbeBudget(m int) Option { return func(c *config) { c.probeBudget = m } }
+
+// WithRetrainInterval sets the staleness interval after which a tracked
+// link retrains. Default dot11ad.SweepInterval (1s).
+func WithRetrainInterval(d time.Duration) Option {
+	return func(c *config) { c.retrainInterval = d }
+}
+
+// WithDegradeDropDB sets how far the serving sector's gain may fall
+// below its value at selection time before a tracked link degrades.
+// Default 3dB.
+func WithDegradeDropDB(db float64) Option { return func(c *config) { c.degradeDropDB = db } }
+
+// WithDegradedBackoff sets how long a degraded link waits before its
+// retrain is scheduled. Default one epoch.
+func WithDegradedBackoff(d time.Duration) Option {
+	return func(c *config) { c.degradedBackoff = d }
+}
+
+// WithCapacity caps how many training rounds one Step may serve;
+// overflow waits in FIFO order for later epochs (that queueing is what
+// puts mass in the latency tail). 0 (default) serves everything.
+func WithCapacity(n int) Option { return func(c *config) { c.capacity = n } }
+
+// WithBatchWorkers sets the worker count handed to
+// core.SelectSectorBatch and to the shard scan pool. Default 0
+// (GOMAXPROCS).
+func WithBatchWorkers(n int) Option { return func(c *config) { c.batchWorkers = n } }
+
+// WithMaxBatch chunks each Step's served rounds into batches of at most
+// n probe vectors, bounding the arena a Step keeps live. Default 65536.
+func WithMaxBatch(n int) Option { return func(c *config) { c.maxBatch = n } }
+
+// WithQueueDepth sets the per-shard bounded event queue depth; Dispatch
+// drops (and counts) events beyond it. Default 1024.
+func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
+
+// WithLossSampleStride records the tracking SNR loss of one in n
+// (station, epoch) pairs instead of all of them. Default 16.
+func WithLossSampleStride(n int) Option {
+	return func(c *config) { c.lossSampleStride = uint64(n) }
+}
+
+// WithRefSNR sets the true SNR (dB, before the measurement model) a
+// station at the reference distance sees on a mean-peak-gain sector.
+// Default 8dB.
+func WithRefSNR(db float64) Option { return func(c *config) { c.refSNRDB = db } }
+
+func defaultConfig() config {
+	return config{
+		shards:           256,
+		seed:             1,
+		epoch:            100 * time.Millisecond,
+		probeBudget:      14,
+		retrainInterval:  time.Second,
+		degradeDropDB:    3,
+		degradedBackoff:  0, // resolved to one epoch in New
+		capacity:         0,
+		batchWorkers:     0,
+		maxBatch:         65536,
+		queueDepth:       1024,
+		lossSampleStride: 16,
+		refSNRDB:         8,
+	}
+}
+
+// shard owns one slice of the station population: a mutex-guarded map
+// plus a bounded event queue drained at the start of each Step.
+type shard struct {
+	mu       sync.Mutex
+	stations map[StationID]*station
+	queue    chan Event
+
+	// reqs and partial are the shard's per-Step scratch, written only by
+	// the one scan worker that owns the shard during that Step.
+	reqs    []request
+	partial tally
+}
+
+// request is one queued training round.
+type request struct {
+	id      StationID
+	shardIx int
+	// trigger is the virtual time the round was requested; the epoch
+	// boundary it completes at minus trigger is its queueing latency.
+	trigger time.Duration
+	retrain bool
+}
+
+// Manager is the sharded fleet session service. All methods are safe for
+// concurrent use; Step serializes against itself.
+type Manager struct {
+	cfg      config
+	est      *core.Estimator
+	patterns *pattern.Set
+	model    radio.MeasurementModel
+	txIDs    []sector.ID
+	// gainRef is the codebook's mean peak gain; trueSNR normalizes
+	// pattern gains by it so refSNRDB means "an average sector, on
+	// boresight, at the reference distance".
+	gainRef float64
+
+	shards []*shard
+	mask   uint64
+
+	// stepMu serializes Step; virtual time and the scorecard tally are
+	// only touched under it.
+	stepMu  sync.Mutex
+	now     time.Duration
+	epoch   uint64
+	pending []request
+	acc     tally
+
+	// probe arena reused across Steps: one flat backing array sliced
+	// into per-round probe vectors.
+	arena []core.Probe
+}
+
+// New builds a fleet manager over the given estimator and its pattern
+// set. The estimator must have been built over the same patterns — the
+// manager synthesizes probes from them and funnels every selection
+// through est.SelectSectorBatch.
+func New(est *core.Estimator, patterns *pattern.Set, opts ...Option) (*Manager, error) {
+	if est == nil {
+		return nil, errors.New("fleet: nil estimator")
+	}
+	if patterns == nil || len(patterns.TXIDs()) == 0 {
+		return nil, errors.New("fleet: pattern set has no TX sectors")
+	}
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.epoch <= 0 {
+		return nil, errors.New("fleet: epoch must be positive")
+	}
+	if cfg.degradedBackoff <= 0 {
+		cfg.degradedBackoff = cfg.epoch
+	}
+	if cfg.lossSampleStride == 0 {
+		cfg.lossSampleStride = 1
+	}
+	if cfg.maxBatch <= 0 {
+		cfg.maxBatch = 65536
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 1024
+	}
+	txIDs := patterns.TXIDs()
+	if cfg.probeBudget <= 0 || cfg.probeBudget > len(txIDs) {
+		return nil, fmt.Errorf("fleet: probe budget %d outside 1..%d", cfg.probeBudget, len(txIDs))
+	}
+	cfg.shards = ceilPow2(cfg.shards)
+	m := &Manager{
+		cfg:      cfg,
+		est:      est,
+		patterns: patterns,
+		model:    radio.DefaultMeasurementModel(),
+		txIDs:    txIDs,
+		shards:   make([]*shard, cfg.shards),
+		mask:     uint64(cfg.shards - 1),
+	}
+	var sum float64
+	for _, id := range txIDs {
+		_, _, peak := patterns.Get(id).Peak()
+		sum += peak
+	}
+	m.gainRef = sum / float64(len(txIDs))
+	for i := range m.shards {
+		m.shards[i] = &shard{
+			stations: make(map[StationID]*station),
+			queue:    make(chan Event, cfg.queueDepth),
+		}
+	}
+	m.acc.init()
+	return m, nil
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (m *Manager) shardOf(id StationID) *shard { return m.shards[uint64(id)&m.mask] }
+
+// Len returns the current station count across all shards.
+func (m *Manager) Len() int {
+	n := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		n += len(sh.stations)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Arrive admits a station synchronously from an arrival event. It
+// returns false if the station already exists (the event is ignored).
+func (m *Manager) Arrive(ev Event) bool {
+	if ev.DistM <= 0 {
+		ev.DistM = refDistM
+	}
+	sh := m.shardOf(ev.Station)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return m.arriveLocked(sh, ev)
+}
+
+func (m *Manager) arriveLocked(sh *shard, ev Event) bool {
+	if _, ok := sh.stations[ev.Station]; ok {
+		return false
+	}
+	sh.stations[ev.Station] = &station{
+		id:             ev.Station,
+		state:          StateIdle,
+		az:             wrapAz(ev.AzDeg),
+		el:             ev.ElDeg,
+		dist:           ev.DistM,
+		driftDegPerSec: ev.DriftDegPerSec,
+		arrivedAt:      m.now,
+	}
+	metArrivals.Inc()
+	metStations.Add(1)
+	return true
+}
+
+// Depart removes a station synchronously. It returns false if the
+// station is unknown. A pending training request of a departed station
+// is skipped when its batch slot would be served.
+func (m *Manager) Depart(id StationID) bool {
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return m.departLocked(sh, id)
+}
+
+func (m *Manager) departLocked(sh *shard, id StationID) bool {
+	st, ok := sh.stations[id]
+	if !ok {
+		return false
+	}
+	if inFlight(st.state) {
+		metPending.Add(-1)
+	}
+	delete(sh.stations, id)
+	metDepartures.Inc()
+	metStations.Add(-1)
+	return true
+}
+
+// Dispatch enqueues an event on its station's shard queue, to be applied
+// at the start of the next Step. It returns false (and counts a drop)
+// when the bounded queue is full.
+func (m *Manager) Dispatch(ev Event) bool {
+	select {
+	case m.shardOf(ev.Station).queue <- ev:
+		return true
+	default:
+		metQueueDrops.Inc()
+		return false
+	}
+}
+
+// Snapshot returns the station's current state, or ok=false if unknown.
+func (m *Manager) Snapshot(id StationID) (Snapshot, bool) {
+	sh := m.shardOf(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.stations[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return Snapshot{
+		ID:       st.id,
+		State:    st.state,
+		Sector:   st.sector,
+		HasLink:  st.haveSector,
+		AzDeg:    st.az,
+		ElDeg:    st.el,
+		DistM:    st.dist,
+		Rounds:   st.round,
+		Degraded: st.state == StateDegraded,
+	}, true
+}
+
+// Now returns the manager's virtual clock (the end of the last Step).
+func (m *Manager) Now() time.Duration {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	return m.now
+}
+
+// Pending returns the number of training rounds queued for service.
+func (m *Manager) Pending() int {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	return len(m.pending)
+}
+
+// scanWorkers resolves the worker count for the shard scan pool.
+func (m *Manager) scanWorkers() int {
+	w := m.cfg.batchWorkers
+	if procs := runtime.GOMAXPROCS(0); w <= 0 || w > procs {
+		w = procs
+	}
+	if w > len(m.shards) {
+		w = len(m.shards)
+	}
+	return w
+}
+
+// wrapAz folds an azimuth into [-180, 180).
+func wrapAz(az float64) float64 {
+	az = math.Mod(az+180, 360)
+	if az < 0 {
+		az += 360
+	}
+	return az - 180
+}

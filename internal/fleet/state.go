@@ -1,0 +1,140 @@
+package fleet
+
+// State is a station link's position in the fleet lifecycle state
+// machine:
+//
+//	          ┌────────────── evSelectOK ──────────────┐
+//	          ▼                                        │
+//	Idle ── evTrain ──▶ Training ── evSelectOK ──▶ Tracking
+//	                       │                        │    │
+//	                  evSelectFail            evDegrade  evRetrain
+//	                       ▼                        ▼    ▼
+//	                   Degraded ── evRetrain ──▶ Retraining
+//	                       ▲                           │
+//	                       └────── evSelectFail ───────┘
+//
+// Departures are handled outside the machine: a departed station is
+// removed from its shard in any state.
+type State uint8
+
+// The fleet lifecycle states.
+const (
+	// StateIdle is a station that arrived but has not trained yet; it
+	// has no usable sector.
+	StateIdle State = iota
+	// StateTraining is a station whose first training round is queued
+	// or in flight through the batch estimation funnel.
+	StateTraining
+	// StateTracking is a station serving traffic on a selected sector.
+	StateTracking
+	// StateDegraded is a station whose link quality collapsed (blockage,
+	// SNR drop, failed selection); it keeps transmitting on its last
+	// usable sector while a retrain is scheduled.
+	StateDegraded
+	// StateRetraining is a station with a non-first training round
+	// queued or in flight.
+	StateRetraining
+
+	numStates
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateTraining:
+		return "training"
+	case StateTracking:
+		return "tracking"
+	case StateDegraded:
+		return "degraded"
+	case StateRetraining:
+		return "retraining"
+	}
+	return "invalid"
+}
+
+// transEvent drives the state machine. These are the machine-internal
+// edges; the external Event stream (arrival, churn, mobility, blockage,
+// fault) is translated into them by the per-epoch shard scan.
+type transEvent uint8
+
+const (
+	// evTrain schedules the first training round of an idle station.
+	evTrain transEvent = iota
+	// evSelectOK delivers a successful batched selection.
+	evSelectOK
+	// evSelectFail delivers a failed batched selection (degenerate
+	// surface, all probes lost, …).
+	evSelectFail
+	// evDegrade reports a tracked link whose quality dropped beyond the
+	// degrade threshold (mobility staleness or blockage).
+	evDegrade
+	// evRetrain schedules a non-first training round (staleness timer on
+	// a tracked link, or backoff expiry on a degraded one).
+	evRetrain
+
+	numTransEvents
+)
+
+// String implements fmt.Stringer.
+func (ev transEvent) String() string {
+	switch ev {
+	case evTrain:
+		return "train"
+	case evSelectOK:
+		return "select-ok"
+	case evSelectFail:
+		return "select-fail"
+	case evDegrade:
+		return "degrade"
+	case evRetrain:
+		return "retrain"
+	}
+	return "invalid"
+}
+
+// transition is the fleet state machine's pure transition function. It
+// returns the successor state and whether the (state, event) pair is a
+// legal edge; illegal pairs leave the state unchanged. Every legal edge
+// a Manager takes increments the matching fleet_to_* transition counter
+// (see metrics.go) at the call site.
+func transition(s State, ev transEvent) (State, bool) {
+	switch s {
+	case StateIdle:
+		if ev == evTrain {
+			return StateTraining, true
+		}
+	case StateTraining:
+		switch ev {
+		case evSelectOK:
+			return StateTracking, true
+		case evSelectFail:
+			return StateDegraded, true
+		}
+	case StateTracking:
+		switch ev {
+		case evDegrade:
+			return StateDegraded, true
+		case evRetrain:
+			return StateRetraining, true
+		}
+	case StateDegraded:
+		if ev == evRetrain {
+			return StateRetraining, true
+		}
+	case StateRetraining:
+		switch ev {
+		case evSelectOK:
+			return StateTracking, true
+		case evSelectFail:
+			return StateDegraded, true
+		}
+	}
+	return s, false
+}
+
+// inFlight reports whether a station in s has a training round queued or
+// in flight (and must not enqueue another).
+func inFlight(s State) bool { return s == StateTraining || s == StateRetraining }

@@ -1,0 +1,79 @@
+package fleet
+
+import "testing"
+
+// TestTransitionTable pins the full transition table: every legal edge
+// with its successor, and every other (state, event) pair rejected with
+// the state unchanged.
+func TestTransitionTable(t *testing.T) {
+	legal := map[[2]uint8]State{
+		{uint8(StateIdle), uint8(evTrain)}:            StateTraining,
+		{uint8(StateTraining), uint8(evSelectOK)}:     StateTracking,
+		{uint8(StateTraining), uint8(evSelectFail)}:   StateDegraded,
+		{uint8(StateTracking), uint8(evDegrade)}:      StateDegraded,
+		{uint8(StateTracking), uint8(evRetrain)}:      StateRetraining,
+		{uint8(StateDegraded), uint8(evRetrain)}:      StateRetraining,
+		{uint8(StateRetraining), uint8(evSelectOK)}:   StateTracking,
+		{uint8(StateRetraining), uint8(evSelectFail)}: StateDegraded,
+	}
+	for s := State(0); s < numStates; s++ {
+		for ev := transEvent(0); ev < numTransEvents; ev++ {
+			next, ok := transition(s, ev)
+			want, legalEdge := legal[[2]uint8{uint8(s), uint8(ev)}]
+			if legalEdge {
+				if !ok || next != want {
+					t.Errorf("transition(%v, %v) = (%v, %v), want (%v, true)", s, ev, next, ok, want)
+				}
+				continue
+			}
+			if ok {
+				t.Errorf("transition(%v, %v) accepted; want rejection", s, ev)
+			}
+			if next != s {
+				t.Errorf("rejected transition(%v, %v) moved the state to %v", s, ev, next)
+			}
+		}
+	}
+	if len(legal) != 8 {
+		t.Fatalf("table enumerates %d legal edges, want 8", len(legal))
+	}
+}
+
+// TestInFlight pins which states hold a queued or in-flight training.
+func TestInFlight(t *testing.T) {
+	want := map[State]bool{
+		StateIdle:       false,
+		StateTraining:   true,
+		StateTracking:   false,
+		StateDegraded:   false,
+		StateRetraining: true,
+	}
+	for s := State(0); s < numStates; s++ {
+		if got := inFlight(s); got != want[s] {
+			t.Errorf("inFlight(%v) = %v, want %v", s, got, want[s])
+		}
+	}
+}
+
+// TestStateStrings keeps the Stringers total: no state or event prints
+// as "invalid" below the sentinel.
+func TestStateStrings(t *testing.T) {
+	for s := State(0); s < numStates; s++ {
+		if s.String() == "invalid" {
+			t.Errorf("State(%d) has no name", s)
+		}
+	}
+	if numStates.String() != "invalid" {
+		t.Error("sentinel state should print invalid")
+	}
+	for ev := transEvent(0); ev < numTransEvents; ev++ {
+		if ev.String() == "invalid" {
+			t.Errorf("transEvent(%d) has no name", ev)
+		}
+	}
+	for k := EventArrival; k <= EventFault; k++ {
+		if k.String() == "invalid" {
+			t.Errorf("EventKind(%d) has no name", k)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"math"
+	"time"
+
+	"talon/internal/core"
+	"talon/internal/sector"
+	"talon/internal/stats"
+)
+
+// station is the per-link state a shard holds. The struct is deliberately
+// small (no retained RNG state, no per-station goroutines) so a million
+// stations stay within a couple hundred megabytes; all randomness is
+// re-derived per training round from (manager seed, station ID, round).
+type station struct {
+	id    StationID
+	state State
+
+	// Geometry in the AP's pattern frame.
+	az, el, dist float64
+	// driftDegPerSec moves az every epoch (mobility).
+	driftDegPerSec float64
+
+	// Current selection.
+	sector     sector.ID
+	haveSector bool
+	// servedGain is the selected sector's pattern gain toward the
+	// station at selection time; the degrade check compares the current
+	// gain against it.
+	servedGain float64
+
+	// Impairments.
+	blockEpochsLeft int
+	blockAttenDB    float64
+	faultLossFrac   float64 // consumed by the next training round
+
+	// Lifecycle bookkeeping (virtual time).
+	arrivedAt    time.Duration
+	lastTrainEnd time.Duration
+	retrainAt    time.Duration // degraded backoff deadline
+	round        uint32        // completed + in-flight training rounds
+}
+
+// Snapshot is the externally visible state of one station.
+type Snapshot struct {
+	ID       StationID
+	State    State
+	Sector   sector.ID
+	HasLink  bool
+	AzDeg    float64
+	ElDeg    float64
+	DistM    float64
+	Rounds   uint32
+	Degraded bool
+}
+
+// roundSeed derives the deterministic RNG seed of st's next training
+// round. The stream depends only on (fleet seed, station, round), never
+// on shard processing order, so batched selections are reproducible at
+// any worker count.
+func roundSeed(fleetSeed int64, id StationID, round uint32) int64 {
+	h := uint64(fleetSeed) ^ 0x9e3779b97f4a7c15
+	h = (h ^ uint64(id)) * 0x100000001b3
+	h = (h ^ uint64(round)) * 0x100000001b3
+	h ^= h >> 29
+	return int64(h)
+}
+
+// refDistM anchors the fleet link budget: a station at refDistM with a
+// sector of mean peak gain sees cfg.refSNRDB before impairments.
+const refDistM = 3.0
+
+// trueSNR returns the noiseless SNR of sector id toward st under the
+// fleet's lightweight single-path channel: reference SNR, log-distance
+// pathloss, the measured pattern gain toward the station (normalized by
+// the codebook's mean peak gain) and any active blockage attenuation.
+func (m *Manager) trueSNR(st *station, id sector.ID) float64 {
+	p := m.patterns.Get(id)
+	if p == nil {
+		return math.Inf(-1)
+	}
+	g := p.At(st.az, st.el)
+	if math.IsNaN(g) {
+		return math.Inf(-1)
+	}
+	snr := m.cfg.refSNRDB - 20*math.Log10(st.dist/refDistM) + g - m.gainRef
+	if st.blockEpochsLeft > 0 {
+		snr -= st.blockAttenDB
+	}
+	return snr
+}
+
+// bestSector returns the transmit sector with the highest pattern gain
+// toward st and that gain — the ground-truth optimum the SNR-loss
+// distribution is measured against.
+func (m *Manager) bestSector(st *station) (sector.ID, float64) {
+	best, bestGain := sector.RX, math.Inf(-1)
+	for _, id := range m.txIDs {
+		g := m.patterns.Get(id).At(st.az, st.el)
+		if !math.IsNaN(g) && g > bestGain {
+			best, bestGain = id, g
+		}
+	}
+	return best, bestGain
+}
+
+// gainToward returns id's pattern gain toward st (math.NaN when the
+// pattern has no sample there).
+func (m *Manager) gainToward(st *station, id sector.ID) float64 {
+	p := m.patterns.Get(id)
+	if p == nil {
+		return math.NaN()
+	}
+	return p.At(st.az, st.el)
+}
+
+// effGain is gainToward minus any active blockage attenuation — the
+// quantity the degrade check watches, so a blockage event pushes a
+// tracked link over the degrade threshold just like drifting off the
+// beam does.
+func (m *Manager) effGain(st *station, id sector.ID) float64 {
+	g := m.gainToward(st, id)
+	if st.blockEpochsLeft > 0 {
+		g -= st.blockAttenDB
+	}
+	return g
+}
+
+// synthProbes fills dst with the station's next training round: a random
+// M-of-N probing subset swept over the air, each probe passed through
+// the firmware measurement model, with any pending fault burst dropping
+// a fraction of the reports. dst must have room for m.cfg.probeBudget
+// entries; the round's RNG stream is derived from roundSeed.
+func (m *Manager) synthProbes(st *station, dst []core.Probe) []core.Probe {
+	rng := stats.NewFastRNG(roundSeed(m.cfg.seed, st.id, st.round))
+	idx := rng.Sample(len(m.txIDs), m.cfg.probeBudget)
+	// Keep stock sweep order, like dot11ad.SubSweepSchedule.
+	sortInts(idx)
+	dst = dst[:0]
+	for _, j := range idx {
+		id := m.txIDs[j]
+		pr := core.Probe{Sector: id}
+		meas, ok := m.model.Observe(m.trueSNR(st, id), rng)
+		if ok && st.faultLossFrac > 0 && rng.Bool(st.faultLossFrac) {
+			ok = false
+		}
+		if ok {
+			pr.Meas, pr.OK = meas, true
+		}
+		dst = append(dst, pr)
+	}
+	st.faultLossFrac = 0 // the burst hit this round only
+	return dst
+}
+
+// sortInts is a tiny insertion sort: probe subsets are ≤ 34 entries, so
+// this beats sort.Ints' interface overhead on the serve hot path.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// fallbackSector picks the strongest reported probe — the argmax the
+// stock sweep would use — for rounds whose estimation failed. ok is
+// false when no probe reported.
+func fallbackSector(probes []core.Probe) (sector.ID, bool) {
+	best, bestSNR, ok := sector.ID(0), math.Inf(-1), false
+	for _, p := range probes {
+		if p.OK && p.Meas.SNR > bestSNR {
+			best, bestSNR, ok = p.Sector, p.Meas.SNR, true
+		}
+	}
+	return best, ok
+}

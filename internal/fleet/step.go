@@ -1,0 +1,357 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"talon/internal/core"
+	"talon/internal/dot11ad"
+)
+
+// Step advances the fleet by one epoch of virtual time:
+//
+//  1. Every shard drains its bounded event queue and applies the events,
+//     then scans its stations — advancing mobility drift, expiring
+//     blockages, degrading links whose serving gain collapsed and
+//     scheduling staleness/backoff retrains. Shards are scanned by a
+//     worker pool; each worker owns a shard exclusively while scanning
+//     it, writing requests and tally partials into shard-local scratch.
+//  2. The per-shard request lists are concatenated in shard-index order
+//     (deterministic regardless of which worker finished first) and
+//     appended to the global FIFO pending queue.
+//  3. Up to the configured capacity of pending rounds is served: probe
+//     vectors are synthesized into a reused arena and pushed through
+//     core.SelectSectorBatch in bounded chunks — the single estimation
+//     funnel for the whole fleet.
+//  4. Outcomes are applied: successful selections adopt the sector and
+//     transition to tracking; failures fall back to the probed argmax
+//     and degrade. Virtual selection latency (queueing + training
+//     airtime) and SNR loss versus the ground-truth best sector feed the
+//     scorecard tally.
+//
+// Step serializes against itself but is safe alongside concurrent
+// Arrive/Depart/Dispatch calls.
+func (m *Manager) Step(ctx context.Context) error {
+	m.stepMu.Lock()
+	defer m.stepMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	start := time.Now() //lint:allow determinism -- step-duration histogram reads the wall clock by design
+	defer metStepSeconds.ObserveSince(start)
+	metEpochs.Inc()
+
+	epochStart := m.now
+	epochEnd := epochStart + m.cfg.epoch
+
+	// Phase 1+2: parallel shard scan, deterministic merge.
+	m.scanShards(epochStart, epochEnd)
+	for _, sh := range m.shards {
+		m.pending = append(m.pending, sh.reqs...)
+		m.acc.merge(&sh.partial)
+	}
+
+	// Phase 3+4: serve the head of the pending queue through the batch
+	// estimation funnel.
+	serve := len(m.pending)
+	if m.cfg.capacity > 0 && serve > m.cfg.capacity {
+		serve = m.cfg.capacity
+	}
+	if serve > 0 {
+		if err := m.serve(ctx, m.pending[:serve], epochEnd); err != nil {
+			return err
+		}
+		n := copy(m.pending, m.pending[serve:])
+		m.pending = m.pending[:n]
+	}
+
+	m.now = epochEnd
+	m.epoch++
+	return nil
+}
+
+// scanShards runs phase 1 over all shards with the scan worker pool.
+func (m *Manager) scanShards(epochStart, epochEnd time.Duration) {
+	workers := m.scanWorkers()
+	if workers <= 1 {
+		for i := range m.shards {
+			m.scanShard(i, epochStart, epochEnd)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.shards) {
+					return
+				}
+				m.scanShard(i, epochStart, epochEnd)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// scanShard drains shard i's event queue and scans its stations. Holds
+// the shard lock throughout so concurrent Arrive/Depart stay safe.
+func (m *Manager) scanShard(i int, epochStart, epochEnd time.Duration) {
+	sh := m.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.reqs = sh.reqs[:0]
+	if sh.partial.latency.counts == nil {
+		sh.partial.init()
+	} else {
+		sh.partial.reset()
+	}
+
+	// Drain the bounded queue. Only events queued before Step are
+	// guaranteed to apply this epoch.
+	for n := len(sh.queue); n > 0; n-- {
+		ev, ok := <-sh.queue
+		if !ok {
+			break
+		}
+		m.applyEventLocked(sh, ev)
+	}
+
+	dt := epochEnd.Seconds() - epochStart.Seconds()
+	epochIx := m.epoch
+	for _, id := range sortedIDs(sh.stations) {
+		st := sh.stations[id]
+		// Mobility drift and blockage expiry happen for every station,
+		// whatever its state.
+		if st.driftDegPerSec != 0 {
+			st.az = wrapAz(st.az + st.driftDegPerSec*dt)
+		}
+		if st.blockEpochsLeft > 0 {
+			st.blockEpochsLeft--
+		}
+		switch st.state {
+		case StateIdle:
+			m.toState(st, evTrain)
+			sh.reqs = append(sh.reqs, request{
+				id: st.id, shardIx: i,
+				trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
+			})
+			metPending.Add(1)
+		case StateTracking:
+			g := m.effGain(st, st.sector)
+			if st.servedGain-g > m.cfg.degradeDropDB || g != g { // g!=g: NaN (drifted off the pattern grid)
+				m.toState(st, evDegrade)
+				sh.partial.degrades++
+				st.retrainAt = epochEnd + m.cfg.degradedBackoff
+				break
+			}
+			if epochStart-st.lastTrainEnd >= m.cfg.retrainInterval {
+				m.toState(st, evRetrain)
+				sh.reqs = append(sh.reqs, request{
+					id: st.id, shardIx: i, retrain: true,
+					trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
+				})
+				metPending.Add(1)
+				break
+			}
+			sh.partial.trackedEpochs++
+			if (uint64(st.id)+epochIx)%m.cfg.lossSampleStride == 0 {
+				_, bestGain := m.bestSector(st)
+				sh.partial.trackLoss.observe(milliDB(bestGain - m.gainToward(st, st.sector)))
+			}
+		case StateDegraded:
+			if epochStart >= st.retrainAt {
+				m.toState(st, evRetrain)
+				sh.reqs = append(sh.reqs, request{
+					id: st.id, shardIx: i, retrain: true,
+					trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
+				})
+				metPending.Add(1)
+			}
+		}
+	}
+}
+
+// applyEventLocked applies one queued event to its shard.
+func (m *Manager) applyEventLocked(sh *shard, ev Event) {
+	switch ev.Kind {
+	case EventArrival:
+		if ev.DistM <= 0 {
+			ev.DistM = refDistM
+		}
+		m.arriveLocked(sh, ev)
+	case EventDeparture:
+		m.departLocked(sh, ev.Station)
+	case EventMobility:
+		if st, ok := sh.stations[ev.Station]; ok {
+			st.driftDegPerSec = ev.DriftDegPerSec
+			metMobilityEvents.Inc()
+		}
+	case EventBlockage:
+		if st, ok := sh.stations[ev.Station]; ok {
+			st.blockAttenDB = ev.AttenDB
+			epochs := int(ev.Duration / m.cfg.epoch)
+			if epochs < 1 {
+				epochs = 1
+			}
+			st.blockEpochsLeft = epochs
+			metBlockages.Inc()
+		}
+	case EventFault:
+		if st, ok := sh.stations[ev.Station]; ok {
+			st.faultLossFrac = ev.LossFrac
+			metFaultEvents.Inc()
+		}
+	}
+}
+
+// toState takes a legal edge and books the transition metric. Illegal
+// edges are programming errors; they leave the state unchanged.
+func (m *Manager) toState(st *station, ev transEvent) {
+	next, ok := transition(st.state, ev)
+	if !ok {
+		return
+	}
+	st.state = next
+	noteTransition(next)
+}
+
+// triggerJitter spreads training triggers of one epoch uniformly across
+// it, deterministically per (seed, station, epoch): without it every
+// round would queue at the epoch boundary and the latency distribution
+// would collapse to a point.
+func triggerJitter(seed int64, id StationID, epoch uint64, d time.Duration) time.Duration {
+	h := uint64(seed) ^ 0xd1b54a32d192ed03
+	h = (h ^ uint64(id)) * 0x100000001b3
+	h = (h ^ epoch) * 0x100000001b3
+	h ^= h >> 32
+	return time.Duration(h % uint64(d))
+}
+
+// sortedIDs returns the shard's station IDs in ascending order so the
+// scan visits stations deterministically (Go's randomized map iteration
+// order is the thing being neutralized).
+func sortedIDs(stations map[StationID]*station) []StationID {
+	ids := make([]StationID, 0, len(stations))
+	for id := range stations {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// serve runs phase 3+4 for the chosen requests: synthesize probe
+// vectors into the arena, push them through core.SelectSectorBatch in
+// bounded chunks and apply the outcomes.
+func (m *Manager) serve(ctx context.Context, reqs []request, epochEnd time.Duration) error {
+	for len(reqs) > 0 {
+		chunk := reqs
+		if len(chunk) > m.cfg.maxBatch {
+			chunk = chunk[:m.cfg.maxBatch]
+		}
+		reqs = reqs[len(chunk):]
+		if err := m.serveChunk(ctx, chunk, epochEnd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Manager) serveChunk(ctx context.Context, chunk []request, epochEnd time.Duration) error {
+	need := len(chunk) * m.cfg.probeBudget
+	if cap(m.arena) < need {
+		m.arena = make([]core.Probe, need)
+	}
+	m.arena = m.arena[:need]
+
+	// Synthesize under shard locks; departed or out-of-state stations
+	// are skipped (their slot stays nil and the batch ignores it by
+	// serving a zero-probe vector we filter below).
+	batch := make([][]core.Probe, 0, len(chunk))
+	live := make([]int, 0, len(chunk)) // chunk indices with a live station
+	for ci, r := range chunk {
+		sh := m.shards[r.shardIx]
+		sh.mu.Lock()
+		st, ok := sh.stations[r.id]
+		if !ok || !inFlight(st.state) {
+			sh.mu.Unlock()
+			m.acc.skipped++
+			metPending.Add(-1)
+			continue
+		}
+		dst := m.arena[ci*m.cfg.probeBudget : ci*m.cfg.probeBudget : (ci+1)*m.cfg.probeBudget]
+		probes := m.synthProbes(st, dst)
+		st.round++
+		sh.mu.Unlock()
+		batch = append(batch, probes)
+		live = append(live, ci)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	metBatchItems.Add(int64(len(batch)))
+	results, err := m.est.SelectSectorBatch(ctx, batch, m.cfg.batchWorkers)
+	if err != nil {
+		return err
+	}
+
+	for bi, res := range results {
+		r := chunk[live[bi]]
+		sh := m.shards[r.shardIx]
+		sh.mu.Lock()
+		st, ok := sh.stations[r.id]
+		if !ok {
+			sh.mu.Unlock()
+			m.acc.skipped++
+			metPending.Add(-1)
+			continue
+		}
+		m.applyOutcome(st, batch[bi], res, r, epochEnd)
+		sh.mu.Unlock()
+		metPending.Add(-1)
+	}
+	return nil
+}
+
+// applyOutcome finishes one training round on its station (shard lock
+// held).
+func (m *Manager) applyOutcome(st *station, probes []core.Probe, res core.BatchResult, r request, epochEnd time.Duration) {
+	m.acc.trainings++
+	metTrainings.Inc()
+	if r.retrain {
+		m.acc.retrains++
+		metRetrains.Inc()
+	}
+	latency := (epochEnd - r.trigger) + dot11ad.MutualTrainingTime(m.cfg.probeBudget)
+	m.acc.latency.observe(int64(latency))
+	metSelectLatency.Observe(latency.Seconds())
+
+	sel, err := res.Selection, res.Err
+	adopted := false
+	if err == nil {
+		st.sector, st.haveSector, adopted = sel.Sector, true, true
+		m.toState(st, evSelectOK)
+	} else {
+		m.acc.failures++
+		metSelectFailures.Inc()
+		if id, ok := fallbackSector(probes); ok {
+			st.sector, st.haveSector, adopted = id, true, true
+			m.acc.fallbacks++
+			metFallbacks.Inc()
+		}
+		m.toState(st, evSelectFail)
+		st.retrainAt = epochEnd + m.cfg.degradedBackoff
+	}
+	if adopted {
+		st.servedGain = m.effGain(st, st.sector)
+		_, bestGain := m.bestSector(st)
+		m.acc.selLoss.observe(milliDB(bestGain - m.gainToward(st, st.sector)))
+	}
+	st.lastTrainEnd = epochEnd
+}

@@ -19,14 +19,31 @@ import (
 	"talon/internal/wil"
 )
 
+// Outcome is the typed result of one training round. It mirrors the
+// fields talon.Selection exposes for degraded selections, so session
+// results and trainer results serialize consistently.
+type Outcome struct {
+	// Sector is the chosen transmit sector.
+	Sector sector.ID `json:"sector"`
+	// Probes is the number of over-the-air probes the round spent.
+	Probes int `json:"probes"`
+	// Degraded marks rounds whose selection abandoned the compressive
+	// estimate (matching talon.Selection.Degraded).
+	Degraded bool `json:"degraded,omitempty"`
+	// FallbackReason classifies why a degraded round abandoned CSS;
+	// core.FallbackNone otherwise.
+	FallbackReason core.FallbackReason `json:"fallback_reason,omitempty"`
+}
+
 // Policy decides how one training round runs.
 type Policy interface {
 	// Name labels the policy in results.
 	Name() string
-	// Train probes the link from tx to rx and returns the chosen
-	// transmit sector plus the number of probes spent. ctx cancels the
+	// Train probes the link from tx to rx and returns the round's
+	// Outcome. On error the Outcome still carries the probes spent, so
+	// failed rounds are billed their airtime. ctx cancels the
 	// underlying estimation.
-	Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error)
+	Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (Outcome, error)
 }
 
 // SSWPolicy is the stock full sector sweep.
@@ -36,19 +53,19 @@ type SSWPolicy struct{}
 func (SSWPolicy) Name() string { return "SSW" }
 
 // Train implements Policy: probe everything, pick the reported argmax.
-func (SSWPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (SSWPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (Outcome, error) {
 	if err := ctx.Err(); err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	meas, err := link.RunTXSS(tx, rx, dot11ad.SweepSchedule())
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	id, ok := core.SweepSelect(core.MeasurementsToProbes(sector.TalonTX(), meas))
 	if !ok {
-		return 0, 34, fmt.Errorf("session: sweep produced no measurements")
+		return Outcome{Probes: 34}, fmt.Errorf("session: sweep produced no measurements")
 	}
-	return id, 34, nil
+	return Outcome{Sector: id, Probes: 34}, nil
 }
 
 // CSSPolicy is compressive sector selection with a fixed probe budget.
@@ -65,20 +82,25 @@ type CSSPolicy struct {
 func (p *CSSPolicy) Name() string { return fmt.Sprintf("CSS-%d", p.M) }
 
 // Train implements Policy.
-func (p *CSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (p *CSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (Outcome, error) {
 	probeSet, err := core.RandomProbes(p.RNG, sector.TalonTX(), p.M)
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	meas, err := link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	sel, err := p.Estimator.SelectSector(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas))
 	if err != nil {
-		return 0, p.M, err
+		return Outcome{Probes: p.M}, err
 	}
-	return sel.Sector, p.M, nil
+	return Outcome{
+		Sector:         sel.Sector,
+		Probes:         p.M,
+		Degraded:       sel.Degraded,
+		FallbackReason: sel.FallbackReason,
+	}, nil
 }
 
 // EnsembleCSSPolicy is compressive selection hardened by a leave-one-out
@@ -102,14 +124,14 @@ type EnsembleCSSPolicy struct {
 func (p *EnsembleCSSPolicy) Name() string { return fmt.Sprintf("CSS-%d-ens", p.M) }
 
 // Train implements Policy.
-func (p *EnsembleCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (p *EnsembleCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (Outcome, error) {
 	probeSet, err := core.RandomProbes(p.RNG, sector.TalonTX(), p.M)
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	meas, err := link.RunTXSS(tx, rx, dot11ad.SubSweepSchedule(probeSet))
 	if err != nil {
-		return 0, 0, err
+		return Outcome{}, err
 	}
 	probes := core.ProbesFromMeasurements(probeSet.IDs(), meas)
 
@@ -127,12 +149,12 @@ func (p *EnsembleCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *w
 	}
 	results, err := p.Estimator.SelectSectorBatch(ctx, batch, 0)
 	if err != nil {
-		return 0, p.M, err
+		return Outcome{Probes: p.M}, err
 	}
 	if results[0].Err != nil {
 		// Without a full-vector selection the round fails outright; the
 		// resamples carry strictly less information.
-		return 0, p.M, results[0].Err
+		return Outcome{Probes: p.M}, results[0].Err
 	}
 	// Majority vote; ties go to the full-vector selection, then to the
 	// lower sector ID, so the outcome is deterministic.
@@ -148,7 +170,12 @@ func (p *EnsembleCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *w
 			best = sector.ID(id)
 		}
 	}
-	return best, p.M, nil
+	return Outcome{
+		Sector:         best,
+		Probes:         p.M,
+		Degraded:       results[0].Selection.Degraded,
+		FallbackReason: results[0].Selection.FallbackReason,
+	}, nil
 }
 
 // AdaptiveCSSPolicy wraps CSS with the adaptive probe-count controller.
@@ -162,32 +189,59 @@ type AdaptiveCSSPolicy struct {
 func (p *AdaptiveCSSPolicy) Name() string { return "CSS-adaptive" }
 
 // Train implements Policy.
-func (p *AdaptiveCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (sector.ID, int, error) {
+func (p *AdaptiveCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Device) (Outcome, error) {
 	inner := &CSSPolicy{Estimator: p.Estimator, M: p.Controller.M(), RNG: p.RNG}
-	id, probes, err := inner.Train(ctx, link, tx, rx)
+	out, err := inner.Train(ctx, link, tx, rx)
 	if err == nil {
-		p.Controller.Observe(id)
+		p.Controller.Observe(out.Sector)
 	}
-	return id, probes, err
+	return out, err
 }
 
-// Config shapes a session run.
-type Config struct {
-	// Duration is the simulated time span.
-	Duration time.Duration
-	// TrainingInterval is the retraining period (the Talon retrains at
-	// least once per second).
-	TrainingInterval time.Duration
-	// Mobility, if set, is called with the elapsed time before every
-	// training and every evaluation step, and may reposition the
-	// devices. Motion between trainings makes the previous selection
-	// stale — the effect that rewards frequent retraining.
-	Mobility func(t time.Duration, tx, rx *wil.Device)
-	// EvalStep is the sampling period of link quality between
-	// trainings; it defaults to TrainingInterval/4 (at most 250 ms).
-	EvalStep time.Duration
-	// Throughput is the rate model; zero value uses the default.
-	Throughput mcs.ThroughputModel
+// config shapes a session run; callers set it through Options.
+type config struct {
+	duration         time.Duration
+	trainingInterval time.Duration
+	mobility         func(t time.Duration, tx, rx *wil.Device)
+	evalStep         time.Duration
+	throughput       mcs.ThroughputModel
+}
+
+// Option configures Run, matching the Trainer.Run(...RunOption) idiom of
+// the public API.
+type Option func(*config)
+
+// WithDuration sets the simulated time span. Every session needs one;
+// Run rejects non-positive durations.
+func WithDuration(d time.Duration) Option {
+	return func(c *config) { c.duration = d }
+}
+
+// WithTrainingInterval sets the retraining period (default: the stock
+// firmware's once-per-second cadence).
+func WithTrainingInterval(d time.Duration) Option {
+	return func(c *config) { c.trainingInterval = d }
+}
+
+// WithMobility installs a mobility function, called with the elapsed
+// time before every training and every evaluation step; it may
+// reposition the devices. Motion between trainings makes the previous
+// selection stale — the effect that rewards frequent retraining.
+func WithMobility(f func(t time.Duration, tx, rx *wil.Device)) Option {
+	return func(c *config) { c.mobility = f }
+}
+
+// WithEvalStep sets the sampling period of link quality between
+// trainings; it defaults to a quarter of the training interval (at most
+// 250 ms).
+func WithEvalStep(d time.Duration) Option {
+	return func(c *config) { c.evalStep = d }
+}
+
+// WithThroughputModel overrides the rate model (default
+// mcs.DefaultThroughputModel).
+func WithThroughputModel(m mcs.ThroughputModel) Option {
+	return func(c *config) { c.throughput = m }
 }
 
 // Point is one training interval of the session.
@@ -206,6 +260,9 @@ type Point struct {
 	// TrainFailed marks intervals whose training produced no selection
 	// (the previous sector stays in use).
 	TrainFailed bool
+	// Degraded marks intervals whose training abandoned the compressive
+	// estimate (see Outcome.Degraded).
+	Degraded bool
 }
 
 // Result summarizes a session.
@@ -220,32 +277,43 @@ type Result struct {
 	TotalProbes int
 }
 
-// Run simulates the session: every TrainingInterval the policy retrains
-// (after Mobility moved the devices), and the interval's throughput is
-// computed from the selected sector's true SNR minus the training
-// airtime overhead. ctx is observed between training intervals; a
-// cancelled session returns ctx.Err().
-func Run(ctx context.Context, link *wil.Link, tx, rx *wil.Device, policy Policy, cfg Config) (*Result, error) {
-	if cfg.Duration <= 0 {
-		return nil, fmt.Errorf("session: duration must be positive")
+// Run simulates the session: every training interval the policy retrains
+// (after the mobility function moved the devices), and the interval's
+// throughput is computed from the selected sector's true SNR minus the
+// training airtime overhead. The session's shape comes from Options:
+//
+//	res, err := session.Run(ctx, link, tx, rx, policy,
+//		session.WithDuration(20*time.Second),
+//		session.WithTrainingInterval(250*time.Millisecond),
+//		session.WithMobility(session.OrbitMobility(3, 12)))
+//
+// ctx is observed between training intervals; a cancelled session
+// returns ctx.Err().
+func Run(ctx context.Context, link *wil.Link, tx, rx *wil.Device, policy Policy, opts ...Option) (*Result, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
 	}
-	if cfg.TrainingInterval <= 0 {
-		cfg.TrainingInterval = dot11ad.SweepInterval
+	if cfg.duration <= 0 {
+		return nil, fmt.Errorf("session: duration must be positive (set WithDuration)")
 	}
-	model := cfg.Throughput
+	if cfg.trainingInterval <= 0 {
+		cfg.trainingInterval = dot11ad.SweepInterval
+	}
+	model := cfg.throughput
 	if model.TCPEfficiency == 0 {
 		model = mcs.DefaultThroughputModel()
 	}
-	model.TrainingInterval = cfg.TrainingInterval
-	evalStep := cfg.EvalStep
+	model.TrainingInterval = cfg.trainingInterval
+	evalStep := cfg.evalStep
 	if evalStep <= 0 {
-		evalStep = cfg.TrainingInterval / 4
+		evalStep = cfg.trainingInterval / 4
 		if evalStep > 250*time.Millisecond {
 			evalStep = 250 * time.Millisecond
 		}
 	}
-	if evalStep > cfg.TrainingInterval {
-		evalStep = cfg.TrainingInterval
+	if evalStep > cfg.trainingInterval {
+		evalStep = cfg.trainingInterval
 	}
 
 	res := &Result{Policy: policy.Name()}
@@ -253,28 +321,28 @@ func Run(ctx context.Context, link *wil.Link, tx, rx *wil.Device, policy Policy,
 	haveSector := false
 	lossSum, lossN := 0.0, 0
 	tpSum := 0.0
-	for t := time.Duration(0); t < cfg.Duration; t += cfg.TrainingInterval {
+	for t := time.Duration(0); t < cfg.duration; t += cfg.trainingInterval {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if cfg.Mobility != nil {
-			cfg.Mobility(t, tx, rx)
+		if cfg.mobility != nil {
+			cfg.mobility(t, tx, rx)
 		}
-		id, probes, err := policy.Train(ctx, link, tx, rx)
-		res.TotalProbes += probes
+		out, err := policy.Train(ctx, link, tx, rx)
+		res.TotalProbes += out.Probes
 		trainFailed := err != nil
 		if !trainFailed {
-			current, haveSector = id, true
+			current, haveSector = out.Sector, true
 		}
-		trainTime := dot11ad.MutualTrainingTime(probes)
+		trainTime := dot11ad.MutualTrainingTime(out.Probes)
 
 		// Sample link quality across the interval while the devices
 		// keep moving and the selection goes stale.
-		for te := t; te < t+cfg.TrainingInterval && te < cfg.Duration; te += evalStep {
-			if cfg.Mobility != nil {
-				cfg.Mobility(te, tx, rx)
+		for te := t; te < t+cfg.trainingInterval && te < cfg.duration; te += evalStep {
+			if cfg.mobility != nil {
+				cfg.mobility(te, tx, rx)
 			}
-			pt := Point{T: te, Probes: probes, TrainFailed: trainFailed}
+			pt := Point{T: te, Probes: out.Probes, TrainFailed: trainFailed, Degraded: out.Degraded}
 			if !haveSector {
 				res.Points = append(res.Points, pt)
 				continue

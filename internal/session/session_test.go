@@ -72,18 +72,17 @@ func setup(t *testing.T) *fixture {
 
 func TestRunValidation(t *testing.T) {
 	f := setup(t)
-	if _, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}, Config{}); err == nil {
+	if _, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}); err == nil {
 		t.Fatal("zero duration accepted")
 	}
 }
 
 func TestStaticSessionSSW(t *testing.T) {
 	f := setup(t)
-	res, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}, Config{
-		Duration:         10 * time.Second,
-		TrainingInterval: time.Second,
-		EvalStep:         time.Second,
-	})
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{},
+		WithDuration(10*time.Second),
+		WithTrainingInterval(time.Second),
+		WithEvalStep(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +111,10 @@ func TestStaticSessionCSS(t *testing.T) {
 	if css.Name() != "CSS-14" {
 		t.Fatalf("name = %q", css.Name())
 	}
-	res, err := Run(context.Background(), f.link, f.tx, f.rx, css, Config{
-		Duration:         10 * time.Second,
-		TrainingInterval: time.Second,
-		EvalStep:         time.Second,
-	})
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, css,
+		WithDuration(10*time.Second),
+		WithTrainingInterval(time.Second),
+		WithEvalStep(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,11 +129,10 @@ func TestStaticSessionCSS(t *testing.T) {
 func TestMobilitySession(t *testing.T) {
 	f := setup(t)
 	css := &CSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(6)}
-	res, err := Run(context.Background(), f.link, f.tx, f.rx, css, Config{
-		Duration:         20 * time.Second,
-		TrainingInterval: 500 * time.Millisecond,
-		Mobility:         OrbitMobility(3, 12),
-	})
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, css,
+		WithDuration(20*time.Second),
+		WithTrainingInterval(500*time.Millisecond),
+		WithMobility(OrbitMobility(3, 12)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,11 +168,10 @@ func TestAdaptivePolicySavesProbes(t *testing.T) {
 	if adaptive.Name() != "CSS-adaptive" {
 		t.Fatalf("name = %q", adaptive.Name())
 	}
-	res, err := Run(context.Background(), f.link, f.tx, f.rx, adaptive, Config{
-		Duration:         30 * time.Second,
-		TrainingInterval: time.Second,
-		EvalStep:         time.Second,
-	})
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, adaptive,
+		WithDuration(30*time.Second),
+		WithTrainingInterval(time.Second),
+		WithEvalStep(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,19 +186,17 @@ func TestFasterRetrainingHelpsUnderMobility(t *testing.T) {
 	// The Section 7 argument: with mobility, CSS's cheap trainings can
 	// run more often; per-interval SNR loss shrinks versus a slow SSW
 	// cadence on the same trajectory.
-	slow, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{}, Config{
-		Duration:         24 * time.Second,
-		TrainingInterval: 2 * time.Second,
-		Mobility:         OrbitMobility(3, 18),
-	})
+	slow, err := Run(context.Background(), f.link, f.tx, f.rx, SSWPolicy{},
+		WithDuration(24*time.Second),
+		WithTrainingInterval(2*time.Second),
+		WithMobility(OrbitMobility(3, 18)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := Run(context.Background(), f.link, f.tx, f.rx, &CSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(8)}, Config{
-		Duration:         24 * time.Second,
-		TrainingInterval: 500 * time.Millisecond,
-		Mobility:         OrbitMobility(3, 18),
-	})
+	fast, err := Run(context.Background(), f.link, f.tx, f.rx, &CSSPolicy{Estimator: f.est, M: 14, RNG: stats.NewRNG(8)},
+		WithDuration(24*time.Second),
+		WithTrainingInterval(500*time.Millisecond),
+		WithMobility(OrbitMobility(3, 18)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,29 +218,28 @@ func TestEnsembleCSSPolicy(t *testing.T) {
 	}
 	// A direct training round: valid sector, probe cost equal to the
 	// budget (the leave-one-out resamples reuse the same airtime).
-	id, probes, err := ens.Train(context.Background(), f.link, f.tx, f.rx)
+	out, err := ens.Train(context.Background(), f.link, f.tx, f.rx)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if probes != 14 {
-		t.Fatalf("probe cost = %d, want the budget 14", probes)
+	if out.Probes != 14 {
+		t.Fatalf("probe cost = %d, want the budget 14", out.Probes)
 	}
 	valid := false
 	for _, txID := range sector.TalonTX() {
-		if id == txID {
+		if out.Sector == txID {
 			valid = true
 			break
 		}
 	}
 	if !valid {
-		t.Fatalf("trained sector %d outside the TX codebook", id)
+		t.Fatalf("trained sector %d outside the TX codebook", out.Sector)
 	}
 	// And a full session: the ensemble must hold CSS-grade throughput.
-	res, err := Run(context.Background(), f.link, f.tx, f.rx, ens, Config{
-		Duration:         10 * time.Second,
-		TrainingInterval: time.Second,
-		EvalStep:         time.Second,
-	})
+	res, err := Run(context.Background(), f.link, f.tx, f.rx, ens,
+		WithDuration(10*time.Second),
+		WithTrainingInterval(time.Second),
+		WithEvalStep(time.Second))
 	if err != nil {
 		t.Fatal(err)
 	}

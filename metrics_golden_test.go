@@ -12,6 +12,7 @@ import (
 	// binary so the default registry holds the full metric inventory.
 	_ "talon/internal/eval"
 	_ "talon/internal/fault"
+	_ "talon/internal/fleet"
 )
 
 // TestMetricNamesGolden pins the full metric inventory of the default
@@ -33,6 +34,9 @@ func TestMetricNamesGolden(t *testing.T) {
 		"trainer_fallbacks_total",
 		"trainer_snr_check_failures_total",
 		"eval_fault_trials_total",
+		"fleet_stations",
+		"fleet_trainings_total",
+		"fleet_batch_items_total",
 	} {
 		if !strings.Contains(joined, needle) {
 			t.Errorf("metric %q missing from the registry", needle)
