@@ -74,7 +74,7 @@ func BenchmarkTable1_BurstSchedules(b *testing.B) {
 		if len(r.Sweep) != 35 {
 			b.Fatal("bad schedule")
 		}
-		_ = r.Format()
+		_ = r.Table()
 	}
 }
 
@@ -159,7 +159,10 @@ func BenchmarkFigure9_SNRLoss(b *testing.B) {
 // BenchmarkFigure10_TrainingTime evaluates the training-time model.
 func BenchmarkFigure10_TrainingTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := eval.Figure10()
+		r, err := eval.Figure10(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
 		if sp := r.Speedup(); sp < 2.25 || sp > 2.35 {
 			b.Fatalf("speedup %v", sp)
 		}
@@ -375,7 +378,10 @@ func BenchmarkBlockageStudy(b *testing.B) {
 // BenchmarkDensityStudy times the dense-deployment pollution model.
 func BenchmarkDensityStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := eval.DensityStudy(14, 5.5, nil)
+		r, err := eval.DensityStudy(context.Background(), 14, 5.5, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Points) == 0 {
 			b.Fatal("empty study")
 		}

@@ -4,27 +4,23 @@
 //
 // Usage:
 //
-//	evalrunner [-fidelity quick|full] [-seed N] -exp <experiment>
+//	evalrunner [-fidelity quick|full] [-seed N] -exp <study>[,<study>...]
+//	evalrunner -list
+//	evalrunner -record [-store DIR] [-trials N]
+//	evalrunner -replay [-store DIR] [-out DIR]
 //
-// Experiments:
+// Studies are registered in internal/eval's registry; -list enumerates
+// them and -exp all runs every one in the canonical order. Each study
+// returns a typed report: the Table rendering goes to stdout, and with
+// -out DIR the runner additionally writes <study>.txt and <study>.json
+// artifacts.
 //
-//	table1     stock beacon/sweep burst schedules
-//	fig5       azimuth-plane patterns of all 35 sectors
-//	fig6       spherical (3D) patterns
-//	fig7       angular estimation error vs probing sectors (lab + conference)
-//	fig8       selection stability vs probing sectors
-//	fig9       SNR loss vs probing sectors
-//	fig10      training time vs probing sectors
-//	fig11      expected throughput at -45/0/45 degrees
-//	headline   condensed headline numbers vs the paper
-//	ablations  the DESIGN.md ablation studies
-//	retraining the Section 7 retraining-cadence study under mobility
-//	blockage   backup sectors from multipath estimation under LOS blockage
-//	density    dense-deployment channel-pollution study
-//	densify    codebook densification study (CSS scales, SSW does not)
-//	faultsweep resilient CSS under injected Gilbert–Elliott frame loss
-//	css        one end-to-end compressive training on the public API
-//	all        everything above
+// Campaign record/replay: -record draws the campaign's trials once and
+// streams them into columnar trace-store shards under -store; -replay
+// streams the shards back through the estimator and emits the
+// deterministic scorecard (byte-identical at any -workers). Use both
+// flags together for a record-then-replay round trip, or record once and
+// replay many times.
 //
 // Estimation: -exact forces the paper-faithful exhaustive grid search;
 // by default the estimators run the hierarchical coarse-to-fine search
@@ -34,13 +30,14 @@
 // engine shards never oversubscribes GOMAXPROCS.
 //
 // Fault injection: -fault-rates sets the loss rates the faultsweep
-// experiment sweeps (comma-separated), -fault-burst the mean loss-burst
+// study sweeps (comma-separated), -fault-burst the mean loss-burst
 // length in frames, -fault-trials the trials per rate and -fault-retries
 // the resilient trainer's retry budget.
 //
 // Observability: -metrics dumps the metrics registry as JSON on exit
 // ("-" = stdout), -debug serves /metrics and /debug/pprof while the
-// experiments run, -cpuprofile writes a pprof CPU profile.
+// experiments run, -cpuprofile writes a pprof CPU profile. Peak RSS is
+// reported on stderr after the run.
 package main
 
 import (
@@ -50,26 +47,34 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
 
-	"talon/internal/channel"
 	"talon/internal/core"
 	"talon/internal/eval"
 	"talon/internal/obs"
-	"talon/internal/stats"
 )
 
 var (
 	fidelity   = flag.String("fidelity", "full", "experiment fidelity: quick or full")
 	seed       = flag.Int64("seed", 42, "experiment seed")
-	exp        = flag.String("exp", "all", "experiment to run")
+	exp        = flag.String("exp", "all", "comma-separated studies to run (see -list)")
+	list       = flag.Bool("list", false, "list the registered studies and exit")
+	outDir     = flag.String("out", "", "also write <study>.txt and <study>.json artifacts to this directory")
 	workers    = flag.Int("workers", 0, "trial-loop worker count (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	exact      = flag.Bool("exact", false, "force the paper-faithful exhaustive grid search instead of the hierarchical coarse-to-fine search")
 	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
 	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
 	cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+
+	record       = flag.Bool("record", false, "record the campaign into trace-store shards and exit (combine with -replay for a round trip)")
+	replay       = flag.Bool("replay", false, "replay recorded trace-store shards into the campaign scorecard")
+	store        = flag.String("store", "campaign-shards", "campaign shard directory")
+	trials       = flag.Int("trials", 0, "campaign trial count (0 = default)")
+	split        = flag.Uint64("split", 0, "campaign in/out-of-sample boundary seed (0 = 80% shard boundary)")
+	shardRecords = flag.Int("shard-records", 0, "campaign records per shard file (0 = default)")
 
 	faultRates   = flag.String("fault-rates", "0,0.05,0.1,0.2", "faultsweep: comma-separated Gilbert–Elliott loss rates")
 	faultBurst   = flag.Float64("fault-burst", 4, "faultsweep: mean loss-burst length in frames")
@@ -94,6 +99,7 @@ func main() {
 	if cerr := cleanup(); cerr != nil && err == nil {
 		err = cerr
 	}
+	reportPeakRSS()
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "evalrunner: interrupted")
@@ -114,252 +120,160 @@ func pick() (eval.Fidelity, error) {
 	return eval.Fidelity{}, fmt.Errorf("unknown fidelity %q", *fidelity)
 }
 
+// buildConfig assembles the cross-study Config from the flags.
+func buildConfig(f eval.Fidelity) (eval.Config, error) {
+	cfg := eval.NewConfig(f, *seed)
+	rates, err := parseRates(*faultRates)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Fault = eval.FaultSweepConfig{
+		LossRates: rates,
+		MeanBurst: *faultBurst,
+		Trials:    *faultTrials,
+		Retries:   *faultRetries,
+		Seed:      *seed,
+	}
+	cfg.Campaign = eval.CampaignConfig{
+		Dir:             *store,
+		Trials:          *trials,
+		SplitSeed:       *split,
+		RecordsPerShard: *shardRecords,
+		Workers:         eval.Parallelism(),
+	}
+	return cfg, nil
+}
+
 func run(ctx context.Context) error {
+	if *list {
+		for _, name := range eval.StudyNames() {
+			fmt.Println(name)
+		}
+		return nil
+	}
 	f, err := pick()
 	if err != nil {
 		return err
 	}
-	switch *exp {
-	case "table1":
-		fmt.Print(eval.Table1().Format())
-		return nil
-	case "fig5":
-		return runFig5(ctx)
-	case "fig6":
-		return runFig6(ctx)
-	case "fig7", "fig8", "fig9", "headline":
-		study, err := runStudy(ctx, f)
-		if err != nil {
-			return err
-		}
-		switch *exp {
-		case "fig7":
-			fmt.Print(study.Figure7().Format())
-		case "fig8":
-			fmt.Print(study.Figure8().Format())
-		case "fig9":
-			fmt.Print(study.Figure9().Format())
-		case "headline":
-			fmt.Print(eval.ComputeHeadline(study).Format())
-		}
-		return nil
-	case "fig10":
-		fmt.Print(eval.Figure10().Format())
-		return nil
-	case "fig11":
-		study, err := runStudy(ctx, f)
-		if err != nil {
-			return err
-		}
-		return runFig11(ctx, study)
-	case "ablations":
-		study, err := runStudy(ctx, f)
-		if err != nil {
-			return err
-		}
-		return runAblations(ctx, study, f)
-	case "retraining":
-		study, err := runStudy(ctx, f)
-		if err != nil {
-			return err
-		}
-		return runRetraining(ctx, study)
-	case "blockage":
-		study, err := runStudy(ctx, f)
-		if err != nil {
-			return err
-		}
-		return runBlockage(ctx, study)
-	case "density":
-		fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
-		return nil
-	case "densify":
-		return runDensify(ctx)
-	case "faultsweep":
-		study, err := runStudy(ctx, f)
-		if err != nil {
-			return err
-		}
-		return runFaultSweep(ctx, study)
-	case "css":
-		return runCSS(ctx)
-	case "all":
-		return runAll(ctx, f)
+	cfg, err := buildConfig(f)
+	if err != nil {
+		return err
 	}
-	return fmt.Errorf("unknown experiment %q", *exp)
+	if *record || *replay {
+		return runCampaignPipeline(ctx, cfg)
+	}
+
+	names := eval.StudyNames()
+	if *exp != "all" {
+		names = strings.Split(*exp, ",")
+	}
+	var p *eval.Platform
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		study, ok := eval.Lookup(name)
+		if !ok {
+			return eval.UnknownStudyError(name)
+		}
+		if eval.NeedsPlatform(study) && p == nil {
+			p, err = buildPlatform(ctx, f)
+			if err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		rep, err := study.Run(ctx, p, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s finished in %v: %s\n", name, time.Since(start).Round(time.Millisecond), rep.Summary())
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(rep.Table())
+		if err := writeArtifacts(name, rep); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func runStudy(ctx context.Context, f eval.Fidelity) (*eval.EnvironmentStudy, error) {
-	fmt.Fprintf(os.Stderr, "running environment study (%s fidelity, seed %d, %d workers)...\n", *fidelity, *seed, eval.Parallelism())
+// buildPlatform runs the chamber campaign once for every platform study.
+func buildPlatform(ctx context.Context, f eval.Fidelity) (*eval.Platform, error) {
+	fmt.Fprintf(os.Stderr, "building platform (%s fidelity, seed %d, %d workers)...\n", *fidelity, *seed, eval.Parallelism())
 	start := time.Now()
-	study, err := eval.RunEnvironmentStudy(ctx, *seed, f)
+	p, err := eval.NewPlatform(ctx, *seed, f.PatternGrid, f.CampaignRepeats)
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(os.Stderr, "study finished in %v\n", time.Since(start).Round(time.Second))
-	return study, nil
+	fmt.Fprintf(os.Stderr, "platform ready in %v\n", time.Since(start).Round(time.Millisecond))
+	return p, nil
 }
 
-func runFig5(ctx context.Context) error {
-	azStep := 0.9
-	repeats := 3
-	if *fidelity == "quick" {
-		azStep, repeats = 4.5, 1
-	}
-	r, err := eval.Figure5(ctx, *seed, azStep, repeats)
+// runCampaignPipeline drives the record-once/replay-many campaign flow.
+func runCampaignPipeline(ctx context.Context, cfg eval.Config) error {
+	f := cfg.Fidelity
+	p, err := buildPlatform(ctx, f)
 	if err != nil {
 		return err
 	}
-	fmt.Print(r.Format())
-	strong, wide, weak := r.Classify()
-	fmt.Printf("strong unidirectional: %v\nmulti-lobe/wide:       %v\nlow gain:              %v\n", strong, wide, weak)
-	return nil
+	if *record {
+		start := time.Now()
+		shards, err := eval.RecordCampaign(ctx, p, cfg.Campaign)
+		if err != nil {
+			return err
+		}
+		var total uint64
+		for _, sh := range shards {
+			total += sh.Header.Records
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d trials into %d shards under %s in %v\n",
+			total, len(shards), *store, time.Since(start).Round(time.Millisecond))
+	}
+	if !*replay {
+		return nil
+	}
+	start := time.Now()
+	sc, err := eval.ReplayCampaign(ctx, p, cfg.Campaign)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "replay finished in %v (%d workers)\n", time.Since(start).Round(time.Millisecond), eval.Parallelism())
+	fmt.Print(sc.Table())
+	return writeArtifacts("campaign", sc)
 }
 
-func runFig6(ctx context.Context) error {
-	azStep, elStep := 1.8, 3.6
-	repeats := 3
-	if *fidelity == "quick" {
-		azStep, elStep, repeats = 9, 10.8, 1
+// writeArtifacts writes the report's text and JSON renderings under
+// -out, when set.
+func writeArtifacts(name string, rep eval.Report) error {
+	if *outDir == "" {
+		return nil
 	}
-	r, err := eval.Figure6(ctx, *seed, azStep, elStep, repeats)
-	if err != nil {
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
-	fmt.Print(r.Format())
-	return nil
+	if err := os.WriteFile(filepath.Join(*outDir, name+".txt"), []byte(rep.Table()), 0o644); err != nil {
+		return err
+	}
+	b, err := rep.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("%s: marshal: %w", name, err)
+	}
+	return os.WriteFile(filepath.Join(*outDir, name+".json"), append(b, '\n'), 0o644)
 }
 
-func runFig11(ctx context.Context, study *eval.EnvironmentStudy) error {
-	sweeps := 10
-	if *fidelity == "quick" {
-		sweeps = 4
-	}
-	r, err := eval.Figure11(ctx, study.Platform, 14, sweeps, stats.NewRNG(*seed).Split("fig11"))
+// reportPeakRSS prints the process's peak resident set (VmHWM) so
+// bounded-memory claims are checkable from any run's stderr.
+func reportPeakRSS() {
+	b, err := os.ReadFile("/proc/self/status")
 	if err != nil {
-		return err
+		return
 	}
-	fmt.Print(r.Format())
-	return nil
-}
-
-func runAblations(ctx context.Context, study *eval.EnvironmentStudy, f eval.Fidelity) error {
-	rng := stats.NewRNG(*seed).Split("ablations")
-	traces, err := study.Platform.Scan(ctx, channel.ConferenceRoom(), 6, f.Conference)
-	if err != nil {
-		return err
-	}
-	subsets := f.SubsetsPerSweep
-	if joint, err := eval.AblationJointCorrelation(ctx, study.Platform, traces, 14, subsets, rng); err == nil {
-		fmt.Print(joint.Format())
-	} else {
-		return err
-	}
-	if ideal, err := eval.AblationMeasuredVsIdeal(ctx, study.Platform, traces, 14, subsets, rng); err == nil {
-		fmt.Print(ideal.Format())
-	} else {
-		return err
-	}
-	if sel, err := eval.AblationProbeSelection(ctx, study.Platform, traces, 14, subsets, rng); err == nil {
-		fmt.Print(sel.Format())
-	} else {
-		return err
-	}
-	if beams, err := eval.AblationRandomBeams(*seed, 6); err == nil {
-		fmt.Print(beams.Format())
-	} else {
-		return err
-	}
-	steps := 200
-	if *fidelity == "quick" {
-		steps = 60
-	}
-	adaptive, err := eval.AblationAdaptiveProbes(ctx, study.Platform, steps, rng)
-	if err != nil {
-		return err
-	}
-	fmt.Print(adaptive.Format())
-	return nil
-}
-
-func runAll(ctx context.Context, f eval.Fidelity) error {
-	fmt.Print(eval.Table1().Format())
-	fmt.Println()
-	if err := runFig5(ctx); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := runFig6(ctx); err != nil {
-		return err
-	}
-	fmt.Println()
-	study, err := runStudy(ctx, f)
-	if err != nil {
-		return err
-	}
-	fmt.Print(study.Figure7().Format())
-	fmt.Println()
-	fmt.Print(study.Figure8().Format())
-	fmt.Println()
-	fmt.Print(study.Figure9().Format())
-	fmt.Println()
-	fmt.Print(eval.Figure10().Format())
-	fmt.Println()
-	if err := runFig11(ctx, study); err != nil {
-		return err
-	}
-	fmt.Println()
-	fmt.Print(eval.ComputeHeadline(study).Format())
-	fmt.Println()
-	if err := runAblations(ctx, study, f); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := runRetraining(ctx, study); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := runBlockage(ctx, study); err != nil {
-		return err
-	}
-	fmt.Println()
-	fmt.Print(eval.DensityStudy(14, 5.5, nil).Format())
-	fmt.Println()
-	if err := runDensify(ctx); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := runFaultSweep(ctx, study); err != nil {
-		return err
-	}
-	fmt.Println()
-	return runCSS(ctx)
-}
-
-func runFaultSweep(ctx context.Context, study *eval.EnvironmentStudy) error {
-	rates, err := parseRates(*faultRates)
-	if err != nil {
-		return err
-	}
-	trials := *faultTrials
-	if trials <= 0 {
-		trials = 200
-		if *fidelity == "quick" {
-			trials = 50
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "VmHWM:") {
+			fmt.Fprintf(os.Stderr, "peak RSS: %s\n", strings.TrimSpace(strings.TrimPrefix(line, "VmHWM:")))
+			return
 		}
 	}
-	r, err := eval.FaultSweep(ctx, study.Platform, eval.FaultSweepConfig{
-		LossRates: rates,
-		MeanBurst: *faultBurst,
-		Trials:    trials,
-		Retries:   *faultRetries,
-		Seed:      *seed,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Format())
-	return nil
 }
 
 func parseRates(s string) ([]float64, error) {
@@ -382,43 +296,4 @@ func parseRates(s string) ([]float64, error) {
 		return nil, fmt.Errorf("-fault-rates is empty")
 	}
 	return rates, nil
-}
-
-func runDensify(ctx context.Context) error {
-	trials := 120
-	if *fidelity == "quick" {
-		trials = 30
-	}
-	r, err := eval.DensifyStudy(ctx, *seed, 14, nil, trials, stats.NewRNG(*seed).Split("densify"))
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Format())
-	return nil
-}
-
-func runBlockage(ctx context.Context, study *eval.EnvironmentStudy) error {
-	rounds := 30
-	if *fidelity == "quick" {
-		rounds = 10
-	}
-	r, err := eval.BlockageStudy(ctx, study.Platform, 24, rounds, stats.NewRNG(*seed).Split("blockage"))
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Format())
-	return nil
-}
-
-func runRetraining(ctx context.Context, study *eval.EnvironmentStudy) error {
-	dur := 20 * time.Second
-	if *fidelity == "quick" {
-		dur = 6 * time.Second
-	}
-	r, err := eval.RetrainingStudy(ctx, study.Platform, 20, dur, stats.NewRNG(*seed).Split("retraining"))
-	if err != nil {
-		return err
-	}
-	fmt.Print(r.Format())
-	return nil
 }

@@ -7,6 +7,8 @@
 // Usage:
 //
 //	fleetsim [-stations N] [-epochs N] [-seed N] [-o scorecard.json]
+//	fleetsim -record-events DIR [flags...]
+//	fleetsim -replay-events DIR [flags...]
 //
 // The scorecard is a pure function of the flags: a fixed seed yields a
 // byte-identical JSON file across runs, machines and -workers settings
@@ -15,6 +17,12 @@
 // -bench in `go test -bench` format, so `benchdiff -record` can track
 // it; the scorecard itself doubles as a benchdiff baseline of virtual
 // metrics via its embedded "benchmarks" array.
+//
+// Event persistence: -record-events streams the whole generated
+// workload (preseed arrivals included) into columnar trace-store shards
+// under the given directory while running normally; -replay-events
+// drives a fresh fleet from such a recording instead of the live
+// generator — the scorecard is byte-identical to the recording run's.
 //
 // Observability: -metrics dumps the metrics registry as JSON on exit
 // ("-" = stdout), -debug serves /metrics and /debug/pprof while the
@@ -55,6 +63,9 @@ var (
 	out      = flag.String("o", "-", "scorecard JSON destination (\"-\" = stdout)")
 	bench    = flag.Bool("bench", false, "print wall-clock throughput in `go test -bench` format on stderr-independent stdout for benchdiff -record")
 	verify   = flag.Bool("verify", false, "run the simulation twice and fail unless the scorecards are byte-identical")
+
+	recordEvents = flag.String("record-events", "", "also persist the generated event stream into trace-store shards under this directory")
+	replayEvents = flag.String("replay-events", "", "replay a recorded event stream from this directory instead of generating the workload")
 
 	metricsOut = flag.String("metrics", "", "dump the metrics registry as JSON to this file on exit (\"-\" = stdout)")
 	debugAddr  = flag.String("debug", "", "serve /metrics and /debug/pprof on this address (e.g. localhost:6060)")
@@ -118,7 +129,7 @@ func run(ctx context.Context) error {
 	fmt.Fprintf(os.Stderr, "fleetsim: replaying %d stations x %d epochs (seed %d)...\n",
 		cfg.Stations, cfg.Epochs, cfg.Seed)
 	start := time.Now()
-	sc, err := fleet.RunSim(ctx, p.Estimator, p.Patterns, cfg)
+	sc, err := runFleet(ctx, p, cfg)
 	if err != nil {
 		return err
 	}
@@ -130,7 +141,7 @@ func run(ctx context.Context) error {
 
 	if *verify {
 		fmt.Fprintln(os.Stderr, "fleetsim: verify pass (second run)...")
-		sc2, err := fleet.RunSim(ctx, p.Estimator, p.Patterns, cfg)
+		sc2, err := runFleet(ctx, p, cfg)
 		if err != nil {
 			return err
 		}
@@ -158,6 +169,32 @@ func run(ctx context.Context) error {
 	}
 	return nil
 }
+
+// runFleet dispatches between the live generator, the recording run and
+// the event-stream replay.
+func runFleet(ctx context.Context, p *eval.Platform, cfg fleet.SimConfig) (*fleet.Scorecard, error) {
+	switch {
+	case *replayEvents != "":
+		return fleet.ReplaySim(ctx, p.Estimator, p.Patterns, cfg, *replayEvents, eventBase)
+	case *recordEvents != "":
+		sc, shards, err := fleet.RunSimRecorded(ctx, p.Estimator, p.Patterns, cfg, *recordEvents, eventBase)
+		if err != nil {
+			return nil, err
+		}
+		var events uint64
+		for _, sh := range shards {
+			events += sh.Header.Records
+		}
+		fmt.Fprintf(os.Stderr, "fleetsim: recorded %d events into %d shards under %s\n",
+			events, len(shards), *recordEvents)
+		return sc, nil
+	default:
+		return fleet.RunSim(ctx, p.Estimator, p.Patterns, cfg)
+	}
+}
+
+// eventBase is the shard basename of -record-events/-replay-events.
+const eventBase = "fleet-events"
 
 func encode(sc *fleet.Scorecard) ([]byte, error) {
 	blob, err := json.MarshalIndent(sc, "", "  ")

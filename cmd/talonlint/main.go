@@ -32,7 +32,7 @@ import (
 
 // scopedRe matches the import paths of the deterministic library
 // packages that determinism and ctxfirst bind.
-var scopedRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed|session|fleet)(/|$)`)
+var scopedRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed|session|fleet|tracestore)(/|$)`)
 
 func main() {
 	golden := flag.String("golden", "", "metric inventory file (default <module>/testdata/metric_names.golden)")

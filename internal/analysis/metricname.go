@@ -19,7 +19,7 @@ var metricConstructors = map[string]bool{
 
 // metricPrefixes are the sanctioned metric-name namespaces, one per
 // instrumented subsystem.
-var metricPrefixes = []string{"core_", "wil_", "eval_", "fault_", "trainer_", "nexmon_", "fleet_"}
+var metricPrefixes = []string{"core_", "wil_", "eval_", "fault_", "trainer_", "nexmon_", "fleet_", "tracestore_"}
 
 var snakeCaseRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 

@@ -30,14 +30,70 @@ type AblationResult struct {
 	Rows []AblationRow
 }
 
-// Format renders the ablation table.
-func (a *AblationResult) Format() string {
+// Table renders the ablation table.
+func (a *AblationResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Ablation: %s\n", a.Name)
 	for _, r := range a.Rows {
 		fmt.Fprintf(&b, "  %-42s %10.3f %s\n", r.Label, r.Value, r.Unit)
 	}
 	return b.String()
+}
+
+// AblationSet bundles the five design-choice ablations as one study
+// result, so the registry exposes them under a single name the way the
+// suite always ran them.
+type AblationSet struct {
+	Ablations []*AblationResult
+}
+
+// Table renders every bundled ablation.
+func (s *AblationSet) Table() string {
+	parts := make([]string, len(s.Ablations))
+	for i, a := range s.Ablations {
+		parts[i] = a.Table()
+	}
+	return strings.Join(parts, "")
+}
+
+// runAblationStudies executes the ablation suite in its canonical order
+// on the shared platform. The probing RNG stream matches what the
+// pre-registry runner drew ("ablations" split, sub-split per study).
+func runAblationStudies(ctx context.Context, p *Platform, cfg Config) (Report, error) {
+	rng := studyRNG(cfg, "ablations")
+	traces, err := p.Scan(ctx, channel.ConferenceRoom(), 6, cfg.Fidelity.Conference)
+	if err != nil {
+		return nil, err
+	}
+	subsets := cfg.Fidelity.SubsetsPerSweep
+	set := &AblationSet{}
+	add := func(a *AblationResult, err error) error {
+		if err != nil {
+			return err
+		}
+		set.Ablations = append(set.Ablations, a)
+		return nil
+	}
+	if err := add(AblationJointCorrelation(ctx, p, traces, 14, subsets, rng)); err != nil {
+		return nil, err
+	}
+	if err := add(AblationMeasuredVsIdeal(ctx, p, traces, 14, subsets, rng)); err != nil {
+		return nil, err
+	}
+	if err := add(AblationProbeSelection(ctx, p, traces, 14, subsets, rng)); err != nil {
+		return nil, err
+	}
+	if err := add(AblationRandomBeams(cfg.Seed, 6)); err != nil {
+		return nil, err
+	}
+	steps := 200
+	if cfg.Fidelity.Quick() {
+		steps = 60
+	}
+	if err := add(AblationAdaptiveProbes(ctx, p, steps, rng)); err != nil {
+		return nil, err
+	}
+	return set, nil
 }
 
 // AblationJointCorrelation quantifies the Section 5 design choice: the

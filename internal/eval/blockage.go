@@ -116,8 +116,8 @@ func clampSNR(snr float64) float64 {
 	return snr
 }
 
-// Format renders the study.
-func (r *BlockageResult) Format() string {
+// Table renders the study.
+func (r *BlockageResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Blockage study: backup sector from multipath estimation (conference room)")
 	fmt.Fprintf(&b, "  backup available:            %d/%d rounds\n", r.BackupFound, r.Rounds)

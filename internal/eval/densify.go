@@ -166,8 +166,8 @@ func absWrap(deg float64) float64 {
 	return d
 }
 
-// Format renders the study.
-func (r *DensifyResult) Format() string {
+// Table renders the study.
+func (r *DensifyResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Codebook densification study (Section 7): CSS keeps the probe budget flat")
 	fmt.Fprintf(&b, "%8s %-8s %7s %11s %11s %13s\n", "sectors", "policy", "probes", "train time", "loss [dB]", "med az err")

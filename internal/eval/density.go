@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -35,8 +36,8 @@ type DensityResult struct {
 // DensityStudy evaluates aggregate goodput against deployment density
 // for the stock sweep and CSS at M probes, at the default (1 s) and a
 // mobility-grade (100 ms) retraining cadence. linkSNR sets each pair's
-// data-link quality.
-func DensityStudy(m int, linkSNR float64, pairCounts []int) *DensityResult {
+// data-link quality. ctx cancels the study between policy cells.
+func DensityStudy(ctx context.Context, m int, linkSNR float64, pairCounts []int) (*DensityResult, error) {
 	if m <= 0 {
 		m = 14
 	}
@@ -51,6 +52,9 @@ func DensityStudy(m int, linkSNR float64, pairCounts []int) *DensityResult {
 	}
 	for _, interval := range []time.Duration{time.Second, 100 * time.Millisecond} {
 		for _, pol := range []policy{{"SSW", 34}, {fmt.Sprintf("CSS-%d", m), m}} {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			trainTime := dot11ad.MutualTrainingTime(pol.probes)
 			for _, pairs := range pairCounts {
 				share := float64(pairs) * float64(trainTime) / float64(interval)
@@ -75,11 +79,11 @@ func DensityStudy(m int, linkSNR float64, pairCounts []int) *DensityResult {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
-// Format renders the study.
-func (r *DensityResult) Format() string {
+// Table renders the study.
+func (r *DensityResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Dense-deployment study (Section 7): training pollutes the whole channel (link SNR %.1f dB)\n", r.LinkSNRdB)
 	fmt.Fprintf(&b, "%-8s %10s %7s %13s %15s %15s\n", "policy", "cadence", "pairs", "train share", "per-pair [Mbps]", "aggregate [Gbps]")

@@ -34,7 +34,7 @@ func TestTable1(t *testing.T) {
 	if len(r.Beacon) != 35 || len(r.Sweep) != 35 {
 		t.Fatalf("slots: %d / %d", len(r.Beacon), len(r.Sweep))
 	}
-	out := r.Format()
+	out := r.Table()
 	for _, want := range []string{"CDOWN", "Beacon", "Sweep", "63", "61"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Format missing %q", want)
@@ -62,7 +62,7 @@ func TestFigure5Smoke(t *testing.T) {
 	if !weakSet.Contains(25) || !weakSet.Contains(62) {
 		t.Errorf("sectors 25/62 not weak: %v", weak)
 	}
-	if !strings.Contains(r.Format(), "sector") {
+	if !strings.Contains(r.Table(), "sector") {
 		t.Error("Format output empty")
 	}
 }
@@ -104,7 +104,7 @@ func TestEnvironmentStudyShapes(t *testing.T) {
 			t.Errorf("%s: last M = %d", te.Env, last.M)
 		}
 	}
-	if !strings.Contains(f7.Format(), "azimuth error") {
+	if !strings.Contains(f7.Table(), "azimuth error") {
 		t.Error("Figure7 Format incomplete")
 	}
 
@@ -117,7 +117,7 @@ func TestEnvironmentStudyShapes(t *testing.T) {
 	if conf.PerM[len(conf.PerM)-1].Stability <= conf.PerM[0].Stability {
 		t.Error("CSS stability did not grow with M")
 	}
-	if !strings.Contains(f8.Format(), "stability") {
+	if !strings.Contains(f8.Table(), "stability") {
 		t.Error("Figure8 Format incomplete")
 	}
 
@@ -126,21 +126,24 @@ func TestEnvironmentStudyShapes(t *testing.T) {
 	if stats.Mean(losses[len(losses)-1].SNRLoss) >= stats.Mean(losses[0].SNRLoss) {
 		t.Error("CSS SNR loss did not shrink with M")
 	}
-	if !strings.Contains(f9.Format(), "SNR loss") {
+	if !strings.Contains(f9.Table(), "SNR loss") {
 		t.Error("Figure9 Format incomplete")
 	}
 }
 
 func TestHeadlineComputation(t *testing.T) {
 	s := quickStudy(t)
-	h := ComputeHeadline(s)
+	h, err := ComputeHeadline(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if h.SpeedupAt14 < 2.25 || h.SpeedupAt14 > 2.35 {
 		t.Errorf("speedup = %v", h.SpeedupAt14)
 	}
 	if h.SSWStability <= 0 || h.SSWStability > 1 {
 		t.Errorf("SSW stability = %v", h.SSWStability)
 	}
-	out := h.Format()
+	out := h.Table()
 	for _, want := range []string{"2.3", "crossover", "speed-up"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("headline missing %q", want)
@@ -149,7 +152,10 @@ func TestHeadlineComputation(t *testing.T) {
 }
 
 func TestFigure10(t *testing.T) {
-	r := Figure10()
+	r, err := Figure10(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.SSWTime.Microseconds() != 1273 {
 		t.Fatalf("SSW time = %v", r.SSWTime)
 	}
@@ -166,7 +172,7 @@ func TestFigure10(t *testing.T) {
 			t.Fatal("training time not increasing")
 		}
 	}
-	if !strings.Contains(r.Format(), "speed-up at M=14") {
+	if !strings.Contains(r.Table(), "speed-up at M=14") {
 		t.Error("Format incomplete")
 	}
 }
@@ -190,7 +196,7 @@ func TestFigure11(t *testing.T) {
 			t.Errorf("CSS throughput at %v° = %v Mbps", pt.AzimuthDeg, pt.CSSMbps)
 		}
 	}
-	if !strings.Contains(r.Format(), "throughput") {
+	if !strings.Contains(r.Table(), "throughput") {
 		t.Error("Format incomplete")
 	}
 }
@@ -222,7 +228,7 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ideal.Rows) != 4 || !strings.Contains(ideal.Format(), "theoretical") {
+	if len(ideal.Rows) != 4 || !strings.Contains(ideal.Table(), "theoretical") {
 		t.Fatalf("ideal ablation malformed: %+v", ideal)
 	}
 
@@ -282,7 +288,7 @@ func TestRetrainingStudy(t *testing.T) {
 	if css, ssw := byKey["CSS-14@250ms"], byKey["SSW@250ms"]; css.ProbesPerSec >= ssw.ProbesPerSec {
 		t.Errorf("CSS probes/s %.0f not below SSW %.0f", css.ProbesPerSec, ssw.ProbesPerSec)
 	}
-	if !strings.Contains(r.Format(), "cadence") {
+	if !strings.Contains(r.Table(), "cadence") {
 		t.Error("Format incomplete")
 	}
 }
@@ -306,13 +312,16 @@ func TestBlockageStudy(t *testing.T) {
 	if r.PrimarySNRdB <= r.BackupSNRdB-1 {
 		t.Fatalf("primary %.2f dB weaker than backup %.2f dB", r.PrimarySNRdB, r.BackupSNRdB)
 	}
-	if !strings.Contains(r.Format(), "Blockage") {
+	if !strings.Contains(r.Table(), "Blockage") {
 		t.Error("Format incomplete")
 	}
 }
 
 func TestDensityStudy(t *testing.T) {
-	r := DensityStudy(14, 5.5, []int{1, 50, 100, 200, 500, 1000, 2000})
+	r, err := DensityStudy(context.Background(), 14, 5.5, []int{1, 50, 100, 200, 500, 1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Points) != 2*2*7 {
 		t.Fatalf("points = %d", len(r.Points))
 	}
@@ -340,7 +349,7 @@ func TestDensityStudy(t *testing.T) {
 	if cssShare >= sswShare {
 		t.Fatalf("CSS train share %.3f not below SSW %.3f", cssShare, sswShare)
 	}
-	if !strings.Contains(r.Format(), "aggregate") {
+	if !strings.Contains(r.Table(), "aggregate") {
 		t.Error("Format incomplete")
 	}
 }
@@ -378,7 +387,7 @@ func TestDensifyStudy(t *testing.T) {
 	if css63.MeanLossDB > ssw63.MeanLossDB+0.5 {
 		t.Fatalf("dense codebook: CSS loss %.2f vs SSW %.2f", css63.MeanLossDB, ssw63.MeanLossDB)
 	}
-	if !strings.Contains(r.Format(), "densification") {
+	if !strings.Contains(r.Table(), "densification") {
 		t.Error("Format incomplete")
 	}
 }

@@ -174,8 +174,8 @@ func quantile(xs []float64, q float64) float64 {
 	return s[i]
 }
 
-// Format renders the campaign table.
-func (r *FaultSweepResult) Format() string {
+// Table renders the campaign table.
+func (r *FaultSweepResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Fault sweep: resilient CSS under Gilbert–Elliott loss (mean burst %.0f frames, %d trials/rate, retry %d)\n",
 		r.Config.MeanBurst, r.Config.Trials, r.Config.Retries)

@@ -50,7 +50,7 @@ func TestFaultSweepResilience(t *testing.T) {
 		t.Errorf("lossy channel (%d retried, %d degraded) not harder than clean (%d, %d)",
 			lossy.Retried, lossy.Degraded, clean.Retried, clean.Degraded)
 	}
-	out := r.Format()
+	out := r.Table()
 	for _, want := range []string{"loss rate", "degraded", "median"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Format missing %q", want)

@@ -29,7 +29,13 @@ type Figure10Result struct {
 }
 
 // Figure10 evaluates the training-time series of the paper's Figure 10.
-func Figure10() *Figure10Result {
+// The model is closed-form, so ctx is only checked once — the parameter
+// exists so the study runs under the same cancellable contract as every
+// other experiment.
+func Figure10(ctx context.Context) (*Figure10Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := &Figure10Result{
 		SSWTime: dot11ad.MutualTrainingTime(34),
 		CSSAt14: dot11ad.MutualTrainingTime(14),
@@ -38,7 +44,7 @@ func Figure10() *Figure10Result {
 		r.Ms = append(r.Ms, m)
 		r.Times = append(r.Times, dot11ad.MutualTrainingTime(m))
 	}
-	return r
+	return r, nil
 }
 
 // Speedup returns the headline training speed-up at 14 probes.
@@ -46,8 +52,8 @@ func (r *Figure10Result) Speedup() float64 {
 	return float64(r.SSWTime) / float64(r.CSSAt14)
 }
 
-// Format renders the series.
-func (r *Figure10Result) Format() string {
+// Table renders the series.
+func (r *Figure10Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Figure 10: mutual training time vs number of probing sectors")
 	fmt.Fprintf(&b, "%4s %12s\n", "M", "time")
@@ -135,8 +141,8 @@ func Figure11(ctx context.Context, p *Platform, m int, sweeps int, rng *stats.RN
 	return res, nil
 }
 
-// Format renders the three bars of Figure 11.
-func (r *Figure11Result) Format() string {
+// Table renders the three bars of Figure 11.
+func (r *Figure11Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 11: expected TCP throughput, CSS (M=%d) vs SSW, conference room\n", r.M)
 	fmt.Fprintf(&b, "%10s %12s %12s\n", "direction", "CSS [Gbps]", "SSW [Gbps]")

@@ -108,8 +108,8 @@ func Figure6(ctx context.Context, seed int64, azStep, elStep float64, repeats in
 	return runCampaign(ctx, "figure6-spherical-patterns", seed, grid, repeats)
 }
 
-// Format renders the per-sector summary table.
-func (r *PatternResult) Format() string {
+// Table renders the per-sector summary table.
+func (r *PatternResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s (%dx%d grid)\n", r.Name, r.Grid.NumAz(), r.Grid.NumEl())
 	fmt.Fprintf(&b, "%-7s %9s %9s %9s %9s %12s\n", "sector", "peak az", "peak el", "peak SNR", "mean SNR", "directivity")

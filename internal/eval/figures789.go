@@ -46,6 +46,13 @@ func RunEnvironmentStudy(ctx context.Context, seed int64, f Fidelity) (*Environm
 	if err != nil {
 		return nil, err
 	}
+	return EnvironmentStudyOn(ctx, p, seed, f)
+}
+
+// EnvironmentStudyOn runs the scans and trace evaluations on an
+// existing platform, so a suite of studies sharing one rig (see
+// Config.Env) measures the chamber patterns only once.
+func EnvironmentStudyOn(ctx context.Context, p *Platform, seed int64, f Fidelity) (*EnvironmentStudy, error) {
 	labTraces, err := p.Scan(ctx, channel.Lab(), 3, f.Lab)
 	if err != nil {
 		return nil, fmt.Errorf("eval: lab scan: %w", err)
@@ -93,8 +100,8 @@ func formatErrTable(b *strings.Builder, te *TraceEval) {
 	}
 }
 
-// Format renders the Figure 7 box-plot series.
-func (r *Figure7Result) Format() string {
+// Table renders the Figure 7 box-plot series.
+func (r *Figure7Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Figure 7: angular estimation error vs number of probing sectors")
 	formatErrTable(&b, r.Lab)
@@ -103,8 +110,8 @@ func (r *Figure7Result) Format() string {
 	return b.String()
 }
 
-// Format renders the Figure 8 stability series.
-func (r *Figure8Result) Format() string {
+// Table renders the Figure 8 stability series.
+func (r *Figure8Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Figure 8: selection stability (conference room)")
 	fmt.Fprintf(&b, "%4s %12s %12s\n", "M", "CSS", "SSW")
@@ -125,8 +132,8 @@ func (r *Figure8Result) CrossoverM() (int, bool) {
 	return 0, false
 }
 
-// Format renders the Figure 9 SNR-loss series.
-func (r *Figure9Result) Format() string {
+// Table renders the Figure 9 SNR-loss series.
+func (r *Figure9Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Figure 9: average SNR loss vs number of probing sectors (conference room)")
 	fmt.Fprintf(&b, "%4s %14s %14s\n", "M", "CSS [dB]", "SSW [dB]")

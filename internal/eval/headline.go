@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,8 +28,12 @@ type Headline struct {
 }
 
 // ComputeHeadline derives the headline numbers from an environment study.
-func ComputeHeadline(s *EnvironmentStudy) *Headline {
-	h := &Headline{SpeedupAt14: Figure10().Speedup()}
+func ComputeHeadline(ctx context.Context, s *EnvironmentStudy) (*Headline, error) {
+	f10, err := Figure10(ctx)
+	if err != nil {
+		return nil, err
+	}
+	h := &Headline{SpeedupAt14: f10.Speedup()}
 	conf := s.Conference
 	h.SSWStability = conf.SSW.Stability
 	h.SSWLossDB = stats.Mean(conf.SSW.SNRLoss)
@@ -46,11 +51,11 @@ func ComputeHeadline(s *EnvironmentStudy) *Headline {
 			h.CSSFullStability = m.Stability
 		}
 	}
-	return h
+	return h, nil
 }
 
-// Format renders the headline comparison against the paper's values.
-func (h *Headline) Format() string {
+// Table renders the headline comparison against the paper's values.
+func (h *Headline) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Headline results (paper value in parentheses)")
 	fmt.Fprintf(&b, "  stability crossover M:     %d (13)\n", h.StabilityCrossoverM)

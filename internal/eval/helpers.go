@@ -2,13 +2,27 @@ package eval
 
 import (
 	"math"
+	"time"
 
 	"talon/internal/channel"
 	"talon/internal/dot11ad"
 	"talon/internal/radio"
 	"talon/internal/sector"
+	"talon/internal/stats"
 	"talon/internal/wil"
 )
+
+// Retraining-study horizons per fidelity.
+const (
+	fullRetrainingDuration  = 20 * time.Second
+	quickRetrainingDuration = 6 * time.Second
+)
+
+// studyRNG derives a study's RNG from the Config seed, labelled so the
+// streams match what the pre-registry evalrunner passed to each study.
+func studyRNG(cfg Config, label string) *stats.RNG {
+	return stats.NewRNG(cfg.Seed).Split(label)
+}
 
 // newLink wires the platform's devices into env.
 func newLink(env *channel.Environment, p *Platform) *wil.Link {

@@ -4,8 +4,11 @@
 // stability), Figure 9 (SNR loss), Figure 10 (training time) and
 // Figure 11 (throughput), plus the ablation studies DESIGN.md calls out.
 //
-// Each experiment returns a typed result with a Format method printing
-// the same rows/series the paper reports.
+// Each experiment is a registered Study returning a typed Report: Table
+// prints the same rows/series the paper reports, Summary digests them to
+// one line, and MarshalJSON emits a machine-readable artifact. Runners
+// dispatch by name through Lookup/StudyNames instead of hand-written
+// switches.
 package eval
 
 import (
@@ -118,6 +121,10 @@ func (p *Platform) Scan(ctx context.Context, env *channel.Environment, dist floa
 // Fidelity bundles the experiment dimensions so that tests can run the
 // same code paths cheaply while the recorded results use full resolution.
 type Fidelity struct {
+	// Name labels the fidelity ("quick" or "full"); studies with
+	// dimensions beyond this struct (repeat counts, trial counts)
+	// scale them by it.
+	Name string
 	// PatternGrid is the chamber campaign grid for CSS pattern
 	// knowledge (the scans of Section 6 need elevation coverage).
 	PatternGrid *geom.Grid
@@ -148,6 +155,7 @@ func Full() Fidelity {
 	conf.AzStep *= 3 // 3.9°: 31 positions
 	conf.SweepsPerPosition = 8
 	return Fidelity{
+		Name:            "full",
 		PatternGrid:     grid,
 		CampaignRepeats: 3,
 		Lab:             lab,
@@ -156,6 +164,9 @@ func Full() Fidelity {
 		SubsetsPerSweep: 3,
 	}
 }
+
+// Quick reports whether this is the reduced test fidelity.
+func (f Fidelity) Quick() bool { return f.Name == "quick" }
 
 // Quick returns a drastically reduced fidelity for unit tests and smoke
 // benches.
@@ -167,6 +178,7 @@ func Quick() Fidelity {
 	lab := testbed.ScanConfig{AzMin: -45, AzMax: 45, AzStep: 15, Elevations: []float64{0, 10}, SweepsPerPosition: 2}
 	conf := testbed.ScanConfig{AzMin: -45, AzMax: 45, AzStep: 15, Elevations: []float64{0}, SweepsPerPosition: 4}
 	return Fidelity{
+		Name:            "quick",
 		PatternGrid:     grid,
 		CampaignRepeats: 2,
 		Lab:             lab,

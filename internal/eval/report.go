@@ -1,0 +1,547 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"talon/internal/dot11ad"
+	"talon/internal/stats"
+)
+
+// This file implements the Report contract (Summary + MarshalJSON) for
+// every study result. The JSON artifacts use explicit snake_case DTOs —
+// never the raw result structs — so the on-disk schema stays stable
+// under internal refactors, and heavyweight payloads (full pattern
+// grids, raw per-trial sample slices) are summarized instead of dumped.
+
+// jsonNum maps NaN and ±Inf — legal in float64 aggregates over empty
+// sample sets, illegal in JSON — to null.
+func jsonNum(v float64) *float64 {
+	if v != v || v > 1e308 || v < -1e308 {
+		return nil
+	}
+	return &v
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// --- Table 1 ---
+
+type burstSlotJSON struct {
+	CDOWN  uint16 `json:"cdown"`
+	Sector *uint8 `json:"sector"` // null for unused slots
+}
+
+// Summary condenses the burst schedules to slot occupancy.
+func (t *Table1Result) Summary() string {
+	beacon, sweep := 0, 0
+	for _, s := range t.Beacon {
+		if s.Used {
+			beacon++
+		}
+	}
+	for _, s := range t.Sweep {
+		if s.Used {
+			sweep++
+		}
+	}
+	return fmt.Sprintf("beacon burst uses %d/%d slots, sweep burst %d/%d", beacon, len(t.Beacon), sweep, len(t.Sweep))
+}
+
+// MarshalJSON emits the two schedules as (cdown, sector) pairs.
+func (t *Table1Result) MarshalJSON() ([]byte, error) {
+	conv := func(slots []dot11ad.BurstSlot) []burstSlotJSON {
+		out := make([]burstSlotJSON, len(slots))
+		for i, s := range slots {
+			out[i].CDOWN = s.CDOWN
+			if s.Used {
+				v := uint8(s.Sector)
+				out[i].Sector = &v
+			}
+		}
+		return out
+	}
+	return json.Marshal(struct {
+		Beacon []burstSlotJSON `json:"beacon"`
+		Sweep  []burstSlotJSON `json:"sweep"`
+	}{conv(t.Beacon), conv(t.Sweep)})
+}
+
+// --- Figures 5/6 (pattern campaigns) ---
+
+type patternSummaryJSON struct {
+	Sector      uint8    `json:"sector"`
+	PeakAzDeg   float64  `json:"peak_az_deg"`
+	PeakElDeg   float64  `json:"peak_el_deg"`
+	PeakSNRdB   *float64 `json:"peak_snr_db"`
+	MeanSNRdB   *float64 `json:"mean_snr_db"`
+	Directivity *float64 `json:"directivity_db"`
+}
+
+// Summary classifies the measured codebook the way Section 4.4 does.
+func (r *PatternResult) Summary() string {
+	strong, wide, weak := r.Classify()
+	return fmt.Sprintf("%d sectors measured: %d strong unidirectional, %d multi-lobe/wide, %d weak",
+		len(r.Summaries), len(strong), len(wide), len(weak))
+}
+
+// MarshalJSON emits the per-sector summaries, not the raw pattern grids.
+func (r *PatternResult) MarshalJSON() ([]byte, error) {
+	sums := make([]patternSummaryJSON, len(r.Summaries))
+	for i, s := range r.Summaries {
+		sums[i] = patternSummaryJSON{
+			Sector:      uint8(s.Sector),
+			PeakAzDeg:   s.PeakAz,
+			PeakElDeg:   s.PeakEl,
+			PeakSNRdB:   jsonNum(s.PeakSNR),
+			MeanSNRdB:   jsonNum(s.MeanSNR),
+			Directivity: jsonNum(s.Directivity),
+		}
+	}
+	return json.Marshal(struct {
+		Name    string               `json:"name"`
+		GridAz  int                  `json:"grid_az_points"`
+		GridEl  int                  `json:"grid_el_points"`
+		Sectors []patternSummaryJSON `json:"sectors"`
+	}{r.Name, r.Grid.NumAz(), r.Grid.NumEl(), sums})
+}
+
+// --- Figures 7/8/9 (trace evaluations) ---
+
+type mStatsJSON struct {
+	M              int      `json:"m"`
+	Samples        int      `json:"samples"`
+	MedianAzErrDeg *float64 `json:"median_az_err_deg"`
+	P75AzErrDeg    *float64 `json:"p75_az_err_deg"`
+	P995AzErrDeg   *float64 `json:"p995_az_err_deg"`
+	MedianElErrDeg *float64 `json:"median_el_err_deg"`
+	MeanSNRLossDB  *float64 `json:"mean_snr_loss_db"`
+	Stability      float64  `json:"stability"`
+	Failures       int      `json:"failures"`
+	Fallbacks      int      `json:"fallbacks"`
+}
+
+type traceEvalJSON struct {
+	Env          string       `json:"env"`
+	Traces       int          `json:"traces"`
+	SSWLossDB    *float64     `json:"ssw_mean_snr_loss_db"`
+	SSWStability float64      `json:"ssw_stability"`
+	SSWFailures  int          `json:"ssw_failures"`
+	PerM         []mStatsJSON `json:"per_m"`
+}
+
+func traceEvalDTO(te *TraceEval) traceEvalJSON {
+	out := traceEvalJSON{
+		Env:          te.Env,
+		Traces:       te.NumTraces,
+		SSWLossDB:    jsonNum(stats.Mean(te.SSW.SNRLoss)),
+		SSWStability: te.SSW.Stability,
+		SSWFailures:  te.SSW.Failures,
+	}
+	for _, m := range te.PerM {
+		az := stats.Box(m.AzErrs)
+		out.PerM = append(out.PerM, mStatsJSON{
+			M:              m.M,
+			Samples:        len(m.AzErrs),
+			MedianAzErrDeg: jsonNum(az.Median),
+			P75AzErrDeg:    jsonNum(az.BoxHi),
+			P995AzErrDeg:   jsonNum(az.WhiskHi),
+			MedianElErrDeg: jsonNum(stats.Median(m.ElErrs)),
+			MeanSNRLossDB:  jsonNum(stats.Mean(m.SNRLoss)),
+			Stability:      m.Stability,
+			Failures:       m.Failures,
+			Fallbacks:      m.Fallbacks,
+		})
+	}
+	return out
+}
+
+// Summary reports the estimation error at the largest probing count.
+func (r *Figure7Result) Summary() string {
+	last := r.Conference.PerM[len(r.Conference.PerM)-1]
+	lab := r.Lab.PerM[len(r.Lab.PerM)-1]
+	return fmt.Sprintf("median azimuth error at M=%d: lab %.1f°, conference %.1f°",
+		last.M, stats.Median(lab.AzErrs), stats.Median(last.AzErrs))
+}
+
+// MarshalJSON emits both environments' summarized per-M series.
+func (r *Figure7Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Lab        traceEvalJSON `json:"lab"`
+		Conference traceEvalJSON `json:"conference"`
+	}{traceEvalDTO(r.Lab), traceEvalDTO(r.Conference)})
+}
+
+// Summary reports the stability crossover against the SSW baseline.
+func (r *Figure8Result) Summary() string {
+	if m, ok := r.CrossoverM(); ok {
+		return fmt.Sprintf("CSS stability reaches the %.1f%% SSW baseline at M=%d", 100*r.Conference.SSW.Stability, m)
+	}
+	return fmt.Sprintf("CSS stability stays below the %.1f%% SSW baseline at every evaluated M", 100*r.Conference.SSW.Stability)
+}
+
+// MarshalJSON emits the stability series and the crossover.
+func (r *Figure8Result) MarshalJSON() ([]byte, error) {
+	cross, _ := r.CrossoverM()
+	return json.Marshal(struct {
+		Conference traceEvalJSON `json:"conference"`
+		CrossoverM int           `json:"crossover_m"`
+	}{traceEvalDTO(r.Conference), cross})
+}
+
+// Summary reports the SNR-loss crossover against the SSW baseline.
+func (r *Figure9Result) Summary() string {
+	ssw := stats.Mean(r.Conference.SSW.SNRLoss)
+	if m, ok := r.CrossoverM(); ok {
+		return fmt.Sprintf("CSS SNR loss reaches the %.2f dB SSW baseline at M=%d", ssw, m)
+	}
+	return fmt.Sprintf("CSS SNR loss stays above the %.2f dB SSW baseline at every evaluated M", ssw)
+}
+
+// MarshalJSON emits the loss series and the crossover.
+func (r *Figure9Result) MarshalJSON() ([]byte, error) {
+	cross, _ := r.CrossoverM()
+	return json.Marshal(struct {
+		Conference traceEvalJSON `json:"conference"`
+		CrossoverM int           `json:"crossover_m"`
+	}{traceEvalDTO(r.Conference), cross})
+}
+
+// --- Figure 10 ---
+
+// Summary reports the headline training speed-up.
+func (r *Figure10Result) Summary() string {
+	return fmt.Sprintf("training speed-up %.2fx at M=14 (%s -> %s)", r.Speedup(), fmtMS(r.SSWTime), fmtMS(r.CSSAt14))
+}
+
+// MarshalJSON emits the training-time series in milliseconds.
+func (r *Figure10Result) MarshalJSON() ([]byte, error) {
+	type point struct {
+		M      int     `json:"m"`
+		TimeMS float64 `json:"time_ms"`
+	}
+	pts := make([]point, len(r.Ms))
+	for i, m := range r.Ms {
+		pts[i] = point{m, ms(r.Times[i])}
+	}
+	return json.Marshal(struct {
+		Points  []point `json:"points"`
+		SSWMS   float64 `json:"ssw_time_ms"`
+		CSS14MS float64 `json:"css14_time_ms"`
+		Speedup float64 `json:"speedup_at_14"`
+	}{pts, ms(r.SSWTime), ms(r.CSSAt14), r.Speedup()})
+}
+
+// --- Figure 11 ---
+
+// Summary averages the throughput bars over the evaluated directions.
+func (r *Figure11Result) Summary() string {
+	var css, ssw float64
+	for _, pt := range r.Points {
+		css += pt.CSSMbps
+		ssw += pt.SSWMbps
+	}
+	n := float64(len(r.Points))
+	return fmt.Sprintf("mean expected throughput over %d directions: CSS(M=%d) %.2f Gbps vs SSW %.2f Gbps",
+		len(r.Points), r.M, css/n/1000, ssw/n/1000)
+}
+
+// MarshalJSON emits the per-direction bars.
+func (r *Figure11Result) MarshalJSON() ([]byte, error) {
+	type point struct {
+		AzimuthDeg float64 `json:"azimuth_deg"`
+		CSSMbps    float64 `json:"css_mbps"`
+		SSWMbps    float64 `json:"ssw_mbps"`
+	}
+	pts := make([]point, len(r.Points))
+	for i, pt := range r.Points {
+		pts[i] = point{pt.AzimuthDeg, pt.CSSMbps, pt.SSWMbps}
+	}
+	return json.Marshal(struct {
+		M      int     `json:"m"`
+		Points []point `json:"points"`
+	}{r.M, pts})
+}
+
+// --- Headline ---
+
+// Summary condenses the paper's three headline claims to one line.
+func (h *Headline) Summary() string {
+	return fmt.Sprintf("crossover M=%d (stability) / M=%d (SNR), speed-up %.2fx, stability %.1f%% vs %.1f%% SSW",
+		h.StabilityCrossoverM, h.SNRCrossoverM, h.SpeedupAt14, 100*h.CSSFullStability, 100*h.SSWStability)
+}
+
+// MarshalJSON emits the headline numbers with the paper's reference
+// values alongside.
+func (h *Headline) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		StabilityCrossoverM int      `json:"stability_crossover_m"`
+		SNRCrossoverM       int      `json:"snr_crossover_m"`
+		SSWStability        float64  `json:"ssw_stability"`
+		CSSFullStability    float64  `json:"css_full_stability"`
+		SSWLossDB           *float64 `json:"ssw_loss_db"`
+		CSSLossAt6DB        *float64 `json:"css_loss_at_6_db"`
+		SpeedupAt14         float64  `json:"speedup_at_14"`
+	}{h.StabilityCrossoverM, h.SNRCrossoverM, h.SSWStability, h.CSSFullStability,
+		jsonNum(h.SSWLossDB), jsonNum(h.CSSLossAt6DB), h.SpeedupAt14})
+}
+
+// --- Ablations ---
+
+type ablationRowJSON struct {
+	Label string   `json:"label"`
+	Value *float64 `json:"value"`
+	Unit  string   `json:"unit"`
+}
+
+func ablationDTO(a *AblationResult) (string, []ablationRowJSON) {
+	rows := make([]ablationRowJSON, len(a.Rows))
+	for i, r := range a.Rows {
+		rows[i] = ablationRowJSON{r.Label, jsonNum(r.Value), r.Unit}
+	}
+	return a.Name, rows
+}
+
+// Summary names the ablation and its first (headline) quantity.
+func (a *AblationResult) Summary() string {
+	if len(a.Rows) == 0 {
+		return a.Name
+	}
+	r := a.Rows[0]
+	return fmt.Sprintf("%s: %s %.3f %s", a.Name, r.Label, r.Value, r.Unit)
+}
+
+// MarshalJSON emits the measured rows.
+func (a *AblationResult) MarshalJSON() ([]byte, error) {
+	name, rows := ablationDTO(a)
+	return json.Marshal(struct {
+		Name string            `json:"name"`
+		Rows []ablationRowJSON `json:"rows"`
+	}{name, rows})
+}
+
+// Summary counts the bundled ablations.
+func (s *AblationSet) Summary() string {
+	names := make([]string, len(s.Ablations))
+	for i, a := range s.Ablations {
+		name := a.Name
+		if cut := strings.IndexAny(name, ":("); cut > 0 {
+			name = strings.TrimSpace(name[:cut])
+		}
+		names[i] = name
+	}
+	return fmt.Sprintf("%d ablation studies: %s", len(s.Ablations), strings.Join(names, "; "))
+}
+
+// MarshalJSON emits the bundled ablations in run order.
+func (s *AblationSet) MarshalJSON() ([]byte, error) {
+	type one struct {
+		Name string            `json:"name"`
+		Rows []ablationRowJSON `json:"rows"`
+	}
+	out := make([]one, len(s.Ablations))
+	for i, a := range s.Ablations {
+		out[i].Name, out[i].Rows = ablationDTO(a)
+	}
+	return json.Marshal(struct {
+		Ablations []one `json:"ablations"`
+	}{out})
+}
+
+// --- Retraining ---
+
+// Summary reports the best-tracking cell.
+func (r *RetrainingResult) Summary() string {
+	best := -1
+	for i, pt := range r.Points {
+		if best < 0 || pt.MeanLossDB < r.Points[best].MeanLossDB {
+			best = i
+		}
+	}
+	if best < 0 {
+		return fmt.Sprintf("no retraining cells at %.0f°/s", r.DegPerSec)
+	}
+	pt := r.Points[best]
+	return fmt.Sprintf("best tracking at %.0f°/s: %s @ %v (%.2f dB loss, %.0f Mbps)",
+		r.DegPerSec, pt.Policy, pt.Interval, pt.MeanLossDB, pt.MeanMbps)
+}
+
+// MarshalJSON emits the policy × cadence grid.
+func (r *RetrainingResult) MarshalJSON() ([]byte, error) {
+	type point struct {
+		Policy       string   `json:"policy"`
+		IntervalMS   float64  `json:"interval_ms"`
+		MeanLossDB   *float64 `json:"mean_loss_db"`
+		MeanMbps     *float64 `json:"mean_mbps"`
+		ProbesPerSec float64  `json:"probes_per_sec"`
+	}
+	pts := make([]point, len(r.Points))
+	for i, pt := range r.Points {
+		pts[i] = point{pt.Policy, ms(pt.Interval), jsonNum(pt.MeanLossDB), jsonNum(pt.MeanMbps), pt.ProbesPerSec}
+	}
+	return json.Marshal(struct {
+		DegPerSec float64 `json:"deg_per_sec"`
+		Points    []point `json:"points"`
+	}{r.DegPerSec, pts})
+}
+
+// --- Blockage ---
+
+// Summary reports the rescue the backup sector provides.
+func (r *BlockageResult) Summary() string {
+	return fmt.Sprintf("backup found in %d/%d rounds; under blockage backup holds %.1f dB vs primary %.1f dB (oracle %.1f dB)",
+		r.BackupFound, r.Rounds, r.BlockedBackupSNRdB, r.BlockedPrimarySNRdB, r.OracleBlockedSNRdB)
+}
+
+// MarshalJSON emits the before/after SNR table.
+func (r *BlockageResult) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Rounds              int     `json:"rounds"`
+		BackupFound         int     `json:"backup_found"`
+		PrimarySNRdB        float64 `json:"primary_snr_db"`
+		BackupSNRdB         float64 `json:"backup_snr_db"`
+		BlockedPrimarySNRdB float64 `json:"blocked_primary_snr_db"`
+		BlockedBackupSNRdB  float64 `json:"blocked_backup_snr_db"`
+		OracleBlockedSNRdB  float64 `json:"oracle_blocked_snr_db"`
+	}{r.Rounds, r.BackupFound, r.PrimarySNRdB, r.BackupSNRdB,
+		r.BlockedPrimarySNRdB, r.BlockedBackupSNRdB, r.OracleBlockedSNRdB})
+}
+
+// --- Density ---
+
+// Summary compares the saturation densities at the mobility cadence.
+func (r *DensityResult) Summary() string {
+	css := ""
+	for _, pt := range r.Points {
+		if strings.HasPrefix(pt.Policy, "CSS") {
+			css = pt.Policy
+			break
+		}
+	}
+	fmtSat := func(p int) string {
+		if p == 0 {
+			return "never saturates"
+		}
+		return fmt.Sprintf("saturates at %d pairs", p)
+	}
+	return fmt.Sprintf("at 100 ms cadence SSW %s, %s %s",
+		fmtSat(r.SaturationPairs("SSW", 100*time.Millisecond)),
+		css, fmtSat(r.SaturationPairs(css, 100*time.Millisecond)))
+}
+
+// MarshalJSON emits the density grid.
+func (r *DensityResult) MarshalJSON() ([]byte, error) {
+	type point struct {
+		Pairs         int      `json:"pairs"`
+		Policy        string   `json:"policy"`
+		IntervalMS    float64  `json:"interval_ms"`
+		TrainShare    float64  `json:"train_share"`
+		AggregateMbps *float64 `json:"aggregate_mbps"`
+		PerPairMbps   *float64 `json:"per_pair_mbps"`
+		Saturated     bool     `json:"saturated"`
+	}
+	pts := make([]point, len(r.Points))
+	for i, pt := range r.Points {
+		pts[i] = point{pt.Pairs, pt.Policy, ms(pt.Interval), pt.TrainShare,
+			jsonNum(pt.AggregateMbps), jsonNum(pt.PerPairMbps), pt.MediumSaturate}
+	}
+	return json.Marshal(struct {
+		LinkSNRdB float64 `json:"link_snr_db"`
+		Points    []point `json:"points"`
+	}{r.LinkSNRdB, pts})
+}
+
+// --- Densify ---
+
+// Summary compares the policies on the largest evaluated codebook.
+func (r *DensifyResult) Summary() string {
+	maxN := 0
+	var css, ssw *DensifyPoint
+	for i := range r.Points {
+		if r.Points[i].Sectors > maxN {
+			maxN = r.Points[i].Sectors
+		}
+	}
+	for i := range r.Points {
+		pt := &r.Points[i]
+		if pt.Sectors != maxN {
+			continue
+		}
+		if strings.HasPrefix(pt.Policy, "CSS") {
+			css = pt
+		} else {
+			ssw = pt
+		}
+	}
+	if css == nil || ssw == nil {
+		return fmt.Sprintf("%d codebook cells evaluated", len(r.Points))
+	}
+	return fmt.Sprintf("at %d sectors: %s loss %.2f dB with %d probes vs SSW %.2f dB with %d probes",
+		maxN, css.Policy, css.MeanLossDB, css.Probes, ssw.MeanLossDB, ssw.Probes)
+}
+
+// MarshalJSON emits the codebook-size grid.
+func (r *DensifyResult) MarshalJSON() ([]byte, error) {
+	type point struct {
+		Sectors        int      `json:"sectors"`
+		Policy         string   `json:"policy"`
+		Probes         int      `json:"probes"`
+		TrainTimeMS    float64  `json:"train_time_ms"`
+		MeanLossDB     *float64 `json:"mean_loss_db"`
+		MedianAzErrDeg *float64 `json:"median_az_err_deg"`
+	}
+	pts := make([]point, len(r.Points))
+	for i, pt := range r.Points {
+		pts[i] = point{pt.Sectors, pt.Policy, pt.Probes, ms(pt.TrainTime),
+			jsonNum(pt.MeanLossDB), jsonNum(pt.MedianAzErr)}
+	}
+	return json.Marshal(struct {
+		Points []point `json:"points"`
+	}{pts})
+}
+
+// --- Fault sweep ---
+
+// Summary reports the resilience headline: hard errors must stay zero.
+func (r *FaultSweepResult) Summary() string {
+	hard, trials, worst := 0, 0, 0.0
+	for _, pt := range r.Points {
+		hard += pt.HardErrors
+		trials += pt.Trials
+		if pt.P95LossDB > worst {
+			worst = pt.P95LossDB
+		}
+	}
+	return fmt.Sprintf("%d hard errors across %d trials at %d loss rates; worst p95 loss %.2f dB",
+		hard, trials, len(r.Points), worst)
+}
+
+// MarshalJSON emits the campaign configuration and the per-rate rows.
+func (r *FaultSweepResult) MarshalJSON() ([]byte, error) {
+	type point struct {
+		LossRate     float64 `json:"loss_rate"`
+		Trials       int     `json:"trials"`
+		HardErrors   int     `json:"hard_errors"`
+		Degraded     int     `json:"degraded"`
+		Retried      int     `json:"retried"`
+		MedianLossDB float64 `json:"median_loss_db"`
+		P95LossDB    float64 `json:"p95_loss_db"`
+	}
+	pts := make([]point, len(r.Points))
+	for i, pt := range r.Points {
+		pts[i] = point{pt.LossRate, pt.Trials, pt.HardErrors, pt.Degraded, pt.Retried, pt.MedianLossDB, pt.P95LossDB}
+	}
+	return json.Marshal(struct {
+		LossRates  []float64 `json:"loss_rates"`
+		MeanBurst  float64   `json:"mean_burst"`
+		Trials     int       `json:"trials_per_rate"`
+		M          int       `json:"m"`
+		Retries    int       `json:"retries"`
+		SNRCheckDB float64   `json:"snr_check_db"`
+		Seed       int64     `json:"seed"`
+		Points     []point   `json:"points"`
+	}{r.Config.LossRates, r.Config.MeanBurst, r.Config.Trials, r.Config.M,
+		r.Config.Retries, r.Config.SNRCheckDB, r.Config.Seed, pts})
+}

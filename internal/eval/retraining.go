@@ -76,8 +76,8 @@ func RetrainingStudy(ctx context.Context, p *Platform, degPerSec float64, durati
 	return res, nil
 }
 
-// Format renders the study.
-func (r *RetrainingResult) Format() string {
+// Table renders the study.
+func (r *RetrainingResult) Table() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Retraining-cadence study (Section 7): receiver orbiting at %.0f°/s\n", r.DegPerSec)
 	fmt.Fprintf(&b, "%-8s %10s %12s %14s %12s\n", "policy", "cadence", "loss [dB]", "tput [Mbps]", "probes/s")

@@ -22,9 +22,9 @@ func Table1() *Table1Result {
 	}
 }
 
-// Format renders the table in the paper's layout: one row per burst type,
+// Table renders the table in the paper's layout: one row per burst type,
 // one column per CDOWN value (34 → 0), "-" for unused slots.
-func (t *Table1Result) Format() string {
+func (t *Table1Result) Table() string {
 	var b strings.Builder
 	fmt.Fprintln(&b, "Table 1: sector IDs per CDOWN value in beacon and sweep bursts")
 	row := func(name string, slots []dot11ad.BurstSlot) {

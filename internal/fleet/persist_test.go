@@ -1,0 +1,102 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"talon/internal/core"
+)
+
+// TestEventCodecRoundTrip exercises the columnar codec on every event
+// kind, including the float64 fields and the virtual-time duration.
+func TestEventCodecRoundTrip(t *testing.T) {
+	recs := []EventRecord{
+		{Epoch: 0, Ev: Event{Kind: EventArrival, Station: 1, AzDeg: -41.25, ElDeg: 7.5, DistM: 3.75, DriftDegPerSec: -2.5}},
+		{Epoch: 1, Ev: Event{Kind: EventDeparture, Station: 9999999999}},
+		{Epoch: 1, Ev: Event{Kind: EventMobility, Station: 2, DriftDegPerSec: 9.75}},
+		{Epoch: 3, Ev: Event{Kind: EventBlockage, Station: 3, AttenDB: 17.5, Duration: 650e6}},
+		{Epoch: 7, Ev: Event{Kind: EventFault, Station: 4, LossFrac: 0.875}},
+	}
+	var c EventCodec
+	raw := c.AppendBlock(nil, recs)
+	if len(raw) != len(recs)*eventSize {
+		t.Fatalf("encoded %d bytes, want %d", len(raw), len(recs)*eventSize)
+	}
+	got, err := c.DecodeBlock(raw, len(recs), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d: got %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	if _, err := c.DecodeBlock(raw[:len(raw)-1], len(recs), nil); err == nil {
+		t.Fatal("truncated block decoded without error")
+	}
+}
+
+// TestSimRecordReplayByteIdentity is the persistence acceptance run:
+// the recorded run's scorecard and a replay of its event stream into a
+// fresh Manager must serialize to identical bytes — including the
+// queue-drop count, which replay re-derives from backpressure alone.
+func TestSimRecordReplayByteIdentity(t *testing.T) {
+	set := synthPatterns(t)
+	est, err := core.NewEstimator(set, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := goldenSimConfig()
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	live, shards, err := RunSimRecorded(ctx, est, set, cfg, dir, "fleet-events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) == 0 {
+		t.Fatal("no event shards written")
+	}
+	var events uint64
+	for _, sh := range shards {
+		if sh.Header.Kind != KindFleetEvent {
+			t.Fatalf("shard kind %d, want %d", sh.Header.Kind, KindFleetEvent)
+		}
+		events += sh.Header.Records
+	}
+	if events < uint64(cfg.Stations) {
+		t.Fatalf("recorded %d events, want at least the %d preseed arrivals", events, cfg.Stations)
+	}
+
+	replayed, err := ReplaySim(ctx, est, set, cfg, dir, "fleet-events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replayed scorecard differs from recorded run:\nrecorded: %s\nreplayed: %s", want, got)
+	}
+
+	// The recorded run must also match a plain un-instrumented RunSim:
+	// recording must not perturb the simulation.
+	plain, err := RunSim(ctx, est, set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainJSON, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plainJSON, want) {
+		t.Fatalf("recording perturbed the simulation:\nplain:    %s\nrecorded: %s", plainJSON, want)
+	}
+}

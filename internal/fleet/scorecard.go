@@ -3,6 +3,8 @@ package fleet
 import (
 	"math"
 	"time"
+
+	"talon/internal/stats"
 )
 
 // All scorecard accumulation is integer arithmetic: histogram bucket
@@ -44,89 +46,13 @@ var latencyBoundsNs = []int64{
 // lossBoundsMilli are the SNR-loss histogram bounds in milli-dB.
 var lossBoundsMilli = []int64{0, 250, 500, 1000, 2000, 3000, 5000, 10000, 20000}
 
-// intHist is a fixed-bound integer histogram with an implicit +Inf
-// overflow bucket.
-type intHist struct {
-	bounds []int64
-	counts []int64
-	sum    int64
-	max    int64
-	n      int64
-}
-
-func newIntHist(bounds []int64) intHist {
-	return intHist{bounds: bounds, counts: make([]int64, len(bounds)+1)}
-}
-
-func (h *intHist) observe(v int64) {
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
-	h.counts[i]++
-	h.sum += v
-	h.n++
-	if v > h.max {
-		h.max = v
-	}
-}
-
-func (h *intHist) reset() {
-	for i := range h.counts {
-		h.counts[i] = 0
-	}
-	h.sum, h.max, h.n = 0, 0, 0
-}
-
-func (h *intHist) merge(o *intHist) {
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	h.sum += o.sum
-	h.n += o.n
-	if o.max > h.max {
-		h.max = o.max
-	}
-}
-
-// quantile returns the upper bound of the bucket holding the q-quantile
-// observation (the exact max for the overflow bucket). Bucket-bound
-// quantiles are coarse but exactly reproducible.
-func (h *intHist) quantile(q float64) int64 {
-	if h.n == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(h.n)))
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			if i < len(h.bounds) && h.bounds[i] < h.max {
-				return h.bounds[i]
-			}
-			return h.max
-		}
-	}
-	return h.max
-}
-
-func (h *intHist) mean() int64 {
-	if h.n == 0 {
-		return 0
-	}
-	return h.sum / h.n
-}
-
 // tally is the deterministic scorecard accumulator. The Manager keeps
 // one under stepMu; each Step's shard workers fill per-shard partials
 // that are merged in.
 type tally struct {
-	latency   intHist // virtual selection latency, ns
-	selLoss   intHist // SNR loss at selection vs ground-truth best, milli-dB
-	trackLoss intHist // sampled SNR loss while tracking, milli-dB
+	latency   stats.IntHist // virtual selection latency, ns
+	selLoss   stats.IntHist // SNR loss at selection vs ground-truth best, milli-dB
+	trackLoss stats.IntHist // sampled SNR loss while tracking, milli-dB
 
 	trainings     int64 // rounds served through the batch funnel
 	retrains      int64 // non-first rounds among them
@@ -138,23 +64,23 @@ type tally struct {
 }
 
 func (t *tally) init() {
-	t.latency = newIntHist(latencyBoundsNs)
-	t.selLoss = newIntHist(lossBoundsMilli)
-	t.trackLoss = newIntHist(lossBoundsMilli)
+	t.latency = stats.NewIntHist(latencyBoundsNs)
+	t.selLoss = stats.NewIntHist(lossBoundsMilli)
+	t.trackLoss = stats.NewIntHist(lossBoundsMilli)
 }
 
 func (t *tally) reset() {
-	t.latency.reset()
-	t.selLoss.reset()
-	t.trackLoss.reset()
+	t.latency.Reset()
+	t.selLoss.Reset()
+	t.trackLoss.Reset()
 	t.trainings, t.retrains, t.failures, t.fallbacks = 0, 0, 0, 0
 	t.degrades, t.trackedEpochs, t.skipped = 0, 0, 0
 }
 
 func (t *tally) merge(o *tally) {
-	t.latency.merge(&o.latency)
-	t.selLoss.merge(&o.selLoss)
-	t.trackLoss.merge(&o.trackLoss)
+	t.latency.Merge(&o.latency)
+	t.selLoss.Merge(&o.selLoss)
+	t.trackLoss.Merge(&o.trackLoss)
 	t.trainings += o.trainings
 	t.retrains += o.retrains
 	t.failures += o.failures
@@ -198,28 +124,26 @@ type LossSummary struct {
 	Buckets  []int64 `json:"buckets"`
 }
 
-func latencySummary(h *intHist) LatencySummary {
+func latencySummary(h *stats.IntHist) LatencySummary {
 	return LatencySummary{
-		Count:  h.n,
-		P50Ns:  h.quantile(0.50),
-		P90Ns:  h.quantile(0.90),
-		P99Ns:  h.quantile(0.99),
-		MaxNs:  h.max,
-		MeanNs: h.mean(),
+		Count:  h.Count(),
+		P50Ns:  h.Quantile(0.50),
+		P90Ns:  h.Quantile(0.90),
+		P99Ns:  h.Quantile(0.99),
+		MaxNs:  h.Max(),
+		MeanNs: h.Mean(),
 	}
 }
 
-func lossSummary(h *intHist) LossSummary {
-	buckets := make([]int64, len(h.counts))
-	copy(buckets, h.counts)
+func lossSummary(h *stats.IntHist) LossSummary {
 	return LossSummary{
-		Count:    h.n,
-		P50Milli: h.quantile(0.50),
-		P90Milli: h.quantile(0.90),
-		P99Milli: h.quantile(0.99),
-		MaxMilli: h.max,
-		MeanDB:   float64(h.mean()) / 1000,
-		Buckets:  buckets,
+		Count:    h.Count(),
+		P50Milli: h.Quantile(0.50),
+		P90Milli: h.Quantile(0.90),
+		P99Milli: h.Quantile(0.99),
+		MaxMilli: h.Max(),
+		MeanDB:   float64(h.Mean()) / 1000,
+		Buckets:  h.Counts(),
 	}
 }
 

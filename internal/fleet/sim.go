@@ -135,50 +135,75 @@ func (g *generator) count(rate float64) int {
 	return n
 }
 
-func (g *generator) dispatch(m *Manager, ev Event) {
+// eventRecorder observes every generated event before it is offered to
+// the Manager (see RunSimRecorded). epoch is 0 for preseed arrivals and
+// e+1 for events generated during simulation epoch e.
+type eventRecorder func(epoch uint32, ev Event) error
+
+// dispatch records (when recording) and then offers the event; queue
+// drops are counted but the event is persisted regardless, so a replay
+// reproduces the drop deterministically.
+func (g *generator) dispatch(m *Manager, epoch uint32, rec eventRecorder, ev Event) error {
+	if rec != nil {
+		if err := rec(epoch, ev); err != nil {
+			return err
+		}
+	}
 	if !m.Dispatch(ev) {
 		g.drops++
 	}
+	return nil
 }
 
 // epochEvents generates and dispatches one epoch's worth of workload.
-func (g *generator) epochEvents(m *Manager, cfg SimConfig, epochDur time.Duration) {
+func (g *generator) epochEvents(m *Manager, cfg SimConfig, epochDur time.Duration, epoch uint32, rec eventRecorder) error {
 	// Churn: a departure paired with a fresh arrival keeps the fleet
 	// near its target size.
 	for i, n := 0, g.count(cfg.ChurnPerEpoch); i < n; i++ {
 		if id, ok := g.pick(true); ok {
-			g.dispatch(m, Event{Kind: EventDeparture, Station: id})
+			if err := g.dispatch(m, epoch, rec, Event{Kind: EventDeparture, Station: id}); err != nil {
+				return err
+			}
 		}
-		g.dispatch(m, g.arrivalEvent())
+		if err := g.dispatch(m, epoch, rec, g.arrivalEvent()); err != nil {
+			return err
+		}
 	}
 	for i, n := 0, g.count(cfg.MobilityPerEpoch); i < n; i++ {
 		if id, ok := g.pick(false); ok {
-			g.dispatch(m, Event{Kind: EventMobility, Station: id,
-				DriftDegPerSec: g.rng.Uniform(-10, 10)})
+			if err := g.dispatch(m, epoch, rec, Event{Kind: EventMobility, Station: id,
+				DriftDegPerSec: g.rng.Uniform(-10, 10)}); err != nil {
+				return err
+			}
 		}
 	}
 	for i, n := 0, g.count(cfg.BlockagePerEpoch); i < n; i++ {
 		if id, ok := g.pick(false); ok {
-			g.dispatch(m, Event{Kind: EventBlockage, Station: id,
+			if err := g.dispatch(m, epoch, rec, Event{Kind: EventBlockage, Station: id,
 				AttenDB:  g.rng.Uniform(5, 25),
 				Duration: time.Duration(g.rng.Uniform(2, 10) * float64(epochDur)),
-			})
+			}); err != nil {
+				return err
+			}
 		}
 	}
 	for i, n := 0, g.count(cfg.FaultPerEpoch); i < n; i++ {
 		if id, ok := g.pick(false); ok {
-			g.dispatch(m, Event{Kind: EventFault, Station: id,
-				LossFrac: g.rng.Uniform(0.5, 1)})
+			if err := g.dispatch(m, epoch, rec, Event{Kind: EventFault, Station: id,
+				LossFrac: g.rng.Uniform(0.5, 1)}); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-// RunSim replays cfg's seeded workload against a fresh Manager over est
-// and patterns and returns the deterministic scorecard. The same cfg
-// yields a byte-identical scorecard at any worker count.
-func RunSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg SimConfig) (*Scorecard, error) {
+// normalize validates cfg and fills the defaulted fields. Both the live
+// generator and the event-stream replay go through it, so a recorded
+// run and its replay agree on the embedded Config.
+func (cfg *SimConfig) normalize() error {
 	if cfg.Stations <= 0 || cfg.Epochs <= 0 {
-		return nil, errors.New("fleet: sim needs positive stations and epochs")
+		return errors.New("fleet: sim needs positive stations and epochs")
 	}
 	if cfg.EpochNs <= 0 {
 		cfg.EpochNs = int64(100 * time.Millisecond)
@@ -186,10 +211,14 @@ func RunSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg
 	if cfg.M <= 0 {
 		cfg.M = 14
 	}
-	epochDur := time.Duration(cfg.EpochNs)
+	return nil
+}
+
+// newSimManager builds the Manager exactly as RunSim configures it.
+func newSimManager(est *core.Estimator, patterns *pattern.Set, cfg SimConfig) (*Manager, error) {
 	opts := []Option{
 		WithSeed(cfg.Seed),
-		WithEpoch(epochDur),
+		WithEpoch(time.Duration(cfg.EpochNs)),
 		WithProbeBudget(cfg.M),
 		WithBatchWorkers(cfg.Workers),
 	}
@@ -199,7 +228,22 @@ func RunSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg
 	if cfg.Capacity > 0 {
 		opts = append(opts, WithCapacity(cfg.Capacity))
 	}
-	m, err := New(est, patterns, opts...)
+	return New(est, patterns, opts...)
+}
+
+// RunSim replays cfg's seeded workload against a fresh Manager over est
+// and patterns and returns the deterministic scorecard. The same cfg
+// yields a byte-identical scorecard at any worker count.
+func RunSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg SimConfig) (*Scorecard, error) {
+	return runSim(ctx, est, patterns, cfg, nil)
+}
+
+func runSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg SimConfig, rec eventRecorder) (*Scorecard, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	epochDur := time.Duration(cfg.EpochNs)
+	m, err := newSimManager(est, patterns, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +252,13 @@ func RunSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg
 	// bound the initial population.
 	gen := newGenerator(cfg.Seed, patterns)
 	for i := 0; i < cfg.Stations; i++ {
-		if !m.Arrive(gen.arrivalEvent()) {
+		ev := gen.arrivalEvent()
+		if rec != nil {
+			if err := rec(0, ev); err != nil {
+				return nil, err
+			}
+		}
+		if !m.Arrive(ev) {
 			return nil, fmt.Errorf("fleet: duplicate preseed station %d", i)
 		}
 	}
@@ -217,7 +267,9 @@ func RunSim(ctx context.Context, est *core.Estimator, patterns *pattern.Set, cfg
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		gen.epochEvents(m, cfg, epochDur)
+		if err := gen.epochEvents(m, cfg, epochDur, uint32(e+1), rec); err != nil {
+			return nil, err
+		}
 		if err := m.Step(ctx); err != nil {
 			return nil, err
 		}

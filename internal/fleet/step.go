@@ -107,7 +107,7 @@ func (m *Manager) scanShard(i int, epochStart, epochEnd time.Duration) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.reqs = sh.reqs[:0]
-	if sh.partial.latency.counts == nil {
+	if !sh.partial.latency.Initialized() {
 		sh.partial.init()
 	} else {
 		sh.partial.reset()
@@ -163,7 +163,7 @@ func (m *Manager) scanShard(i int, epochStart, epochEnd time.Duration) {
 			sh.partial.trackedEpochs++
 			if (uint64(st.id)+epochIx)%m.cfg.lossSampleStride == 0 {
 				_, bestGain := m.bestSector(st)
-				sh.partial.trackLoss.observe(milliDB(bestGain - m.gainToward(st, st.sector)))
+				sh.partial.trackLoss.Observe(milliDB(bestGain - m.gainToward(st, st.sector)))
 			}
 		case StateDegraded:
 			if epochStart >= st.retrainAt {
@@ -329,7 +329,7 @@ func (m *Manager) applyOutcome(st *station, probes []core.Probe, res core.BatchR
 		metRetrains.Inc()
 	}
 	latency := (epochEnd - r.trigger) + dot11ad.MutualTrainingTime(m.cfg.probeBudget)
-	m.acc.latency.observe(int64(latency))
+	m.acc.latency.Observe(int64(latency))
 	metSelectLatency.Observe(latency.Seconds())
 
 	sel, err := res.Selection, res.Err
@@ -351,7 +351,7 @@ func (m *Manager) applyOutcome(st *station, probes []core.Probe, res core.BatchR
 	if adopted {
 		st.servedGain = m.effGain(st, st.sector)
 		_, bestGain := m.bestSector(st)
-		m.acc.selLoss.observe(milliDB(bestGain - m.gainToward(st, st.sector)))
+		m.acc.selLoss.Observe(milliDB(bestGain - m.gainToward(st, st.sector)))
 	}
 	st.lastTrainEnd = epochEnd
 }

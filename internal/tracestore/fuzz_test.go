@@ -1,0 +1,84 @@
+package tracestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"talon/internal/sector"
+)
+
+// FuzzDecodeRecord round-trips the trial codec through arbitrary-ish
+// inputs: the fuzzer drives both the record contents and the probe
+// count, and the property is encode→decode→encode byte-identity plus
+// decode never panicking on truncated or padded raw blocks.
+func FuzzDecodeRecord(f *testing.F) {
+	f.Add(uint16(4), []byte("seed-corpus"), uint8(3))
+	f.Add(uint16(1), []byte{0xff, 0x00, 0x41}, uint8(1))
+	f.Add(uint16(33), bytes.Repeat([]byte{0x7f}, 300), uint8(5))
+	f.Fuzz(func(t *testing.T, m16 uint16, blob []byte, n8 uint8) {
+		m := int(m16)%255 + 1
+		codec, err := NewTrialCodec(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int(n8)%8 + 1
+
+		// Build n records deterministically from blob bytes.
+		at := func(i int) byte {
+			if len(blob) == 0 {
+				return 0
+			}
+			return blob[i%len(blob)]
+		}
+		f32 := func(i int) float32 {
+			u := binary.LittleEndian.Uint32([]byte{at(i), at(i + 1), at(i + 2), at(i + 3)})
+			return float32(int32(u)) / 256 // finite by construction, NaN-free for == comparison
+		}
+		recs := make([]Trial, n)
+		k := 0
+		for i := range recs {
+			recs[i] = Trial{
+				Seed:  uint64(i),
+				AzDeg: f32(k), ElDeg: f32(k + 4),
+				DistM:       f32(k + 8),
+				AttenDB:     f32(k + 12),
+				LinkSNR:     f32(k + 16),
+				Probes:      make([]ProbeSample, m),
+				SelSector:   sector.ID(at(k)),
+				SelFallback: at(k+1)&1 == 1,
+				SelAzDeg:    f32(k + 20),
+				SelElDeg:    f32(k + 24),
+			}
+			for j := range recs[i].Probes {
+				recs[i].Probes[j] = ProbeSample{
+					Sector: sector.ID(at(k + j)),
+					OK:     at(k+j)&2 == 2,
+					SNR:    f32(k + j),
+					RSSI:   f32(k + j + 2),
+				}
+			}
+			k += 29
+		}
+
+		raw := codec.AppendBlock(nil, recs)
+		dec, err := codec.DecodeBlock(raw, n, nil)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		raw2 := codec.AppendBlock(nil, dec)
+		if !bytes.Equal(raw, raw2) {
+			t.Fatal("encode→decode→encode is not byte-identical")
+		}
+
+		// Decoding wrong-sized raw must error, never panic.
+		if len(raw) > 0 {
+			if _, err := codec.DecodeBlock(raw[:len(raw)-1], n, nil); err == nil {
+				t.Fatal("truncated raw block decoded without error")
+			}
+		}
+		if _, err := codec.DecodeBlock(append(raw, 0), n, nil); err == nil {
+			t.Fatal("padded raw block decoded without error")
+		}
+	})
+}

@@ -1,0 +1,274 @@
+package tracestore
+
+import (
+	"bufio"
+	"compress/zlib"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Reader streams one shard file block by block. All buffers — the
+// compressed frame, the raw column block and the decoded record slice —
+// are owned by the Reader and reused across blocks, so memory stays
+// bounded by one block regardless of shard size. Not safe for
+// concurrent use; the replayer gives each worker its own Reader.
+type Reader[T any] struct {
+	codec Codec[T]
+	f     *os.File
+	br    *bufio.Reader
+	hdr   Header
+
+	zr        io.ReadCloser // zlib stream, reused via zlib.Resetter
+	frame     [blockHeaderSize]byte
+	comp      []byte
+	raw       []byte
+	recs      []T
+	blocksGot uint32
+	recsGot   uint64
+}
+
+// OpenReader opens one shard and verifies its header against the codec.
+func OpenReader[T any](codec Codec[T], path string) (*Reader[T], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader[T]{codec: codec, f: f, br: bufio.NewReaderSize(f, 1<<16)}
+	h, err := readHeaderFrom(r.br)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if h.Kind != codec.Kind() {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w: file kind %d, codec kind %d", path, ErrKindMismatch, h.Kind, codec.Kind())
+	}
+	if err := codec.CheckMeta(h.Meta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	r.hdr = h
+	return r, nil
+}
+
+// Header returns the shard's verified header.
+func (r *Reader[T]) Header() Header { return r.hdr }
+
+// Next returns the next block of decoded records, valid until the
+// following Next call (the slice and its record sub-slices are reused).
+// It returns io.EOF after the last block.
+func (r *Reader[T]) Next() ([]T, error) {
+	if r.blocksGot == r.hdr.Blocks {
+		if r.recsGot != r.hdr.Records {
+			return nil, fmt.Errorf("%w: header promises %d records, blocks held %d", ErrCorrupt, r.hdr.Records, r.recsGot)
+		}
+		// The framed blocks are exhausted; anything further is junk.
+		if _, err := r.br.ReadByte(); err == nil {
+			return nil, fmt.Errorf("%w: trailing bytes after final block", ErrCorrupt)
+		} else if !errors.Is(err, io.EOF) {
+			return nil, err
+		}
+		return nil, io.EOF
+	}
+	if _, err := io.ReadFull(r.br, r.frame[:]); err != nil {
+		return nil, fmt.Errorf("%w: truncated block frame: %w", ErrCorrupt, err)
+	}
+	nrecs := binary.LittleEndian.Uint32(r.frame[0:])
+	rawLen := binary.LittleEndian.Uint32(r.frame[4:])
+	compLen := binary.LittleEndian.Uint32(r.frame[8:])
+	wantCRC := binary.LittleEndian.Uint32(r.frame[12:])
+	if nrecs == 0 || nrecs > maxBlockRecords || rawLen > maxBlockBytes || compLen > maxBlockBytes {
+		return nil, fmt.Errorf("%w: implausible block frame (nrecs=%d raw=%d comp=%d)", ErrCorrupt, nrecs, rawLen, compLen)
+	}
+	if cap(r.comp) < int(compLen) {
+		r.comp = make([]byte, compLen)
+	}
+	r.comp = r.comp[:compLen]
+	if _, err := io.ReadFull(r.br, r.comp); err != nil {
+		return nil, fmt.Errorf("%w: truncated block payload: %w", ErrCorrupt, err)
+	}
+	if cap(r.raw) < int(rawLen) {
+		r.raw = make([]byte, rawLen)
+	}
+	r.raw = r.raw[:rawLen]
+	if err := r.inflate(); err != nil {
+		return nil, fmt.Errorf("%w: zlib: %w", ErrCorrupt, err)
+	}
+	if got := crc32.ChecksumIEEE(r.raw); got != wantCRC {
+		return nil, fmt.Errorf("%w: block CRC %08x != %08x", ErrCorrupt, got, wantCRC)
+	}
+	recs, err := r.codec.DecodeBlock(r.raw, int(nrecs), r.recs)
+	if err != nil {
+		return nil, err
+	}
+	r.recs = recs
+	r.blocksGot++
+	r.recsGot += uint64(nrecs)
+	metBlocksRead.Inc()
+	metRecordsRead.Add(int64(nrecs))
+	return recs, nil
+}
+
+// inflate decompresses r.comp into r.raw, reusing the zlib stream.
+func (r *Reader[T]) inflate() error {
+	src := bytesReader{b: r.comp}
+	if r.zr == nil {
+		zr, err := zlib.NewReader(&src)
+		if err != nil {
+			return err
+		}
+		r.zr = zr
+	} else if err := r.zr.(zlib.Resetter).Reset(&src, nil); err != nil {
+		return err
+	}
+	if _, err := io.ReadFull(r.zr, r.raw); err != nil {
+		return err
+	}
+	// The stream must end exactly at rawLen bytes; the final read also
+	// forces zlib to verify its adler32 trailer.
+	var tail [1]byte
+	if n, err := r.zr.Read(tail[:]); n != 0 {
+		return errors.New("compressed block longer than frame rawLen")
+	} else if err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// bytesReader is a minimal io.Reader over a byte slice (bytes.Reader
+// without the extra interface surface, so the zlib Resetter path gets a
+// plain Reader and keeps its own internal buffering).
+type bytesReader struct {
+	b []byte
+	i int
+}
+
+func (s *bytesReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}
+
+// Close releases the shard file.
+func (r *Reader[T]) Close() error { return r.f.Close() }
+
+// Reopen switches the Reader to another shard, keeping every decode
+// buffer (compressed frame, raw block, record slice, zlib stream) so a
+// replay worker touches steady-state memory no matter how many shards
+// it consumes. The previous file is closed first.
+func (r *Reader[T]) Reopen(path string) error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	r.f = f
+	r.br.Reset(f)
+	h, err := readHeaderFrom(r.br)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if h.Kind != r.codec.Kind() {
+		f.Close()
+		return fmt.Errorf("%s: %w: file kind %d, codec kind %d", path, ErrKindMismatch, h.Kind, r.codec.Kind())
+	}
+	if err := r.codec.CheckMeta(h.Meta); err != nil {
+		f.Close()
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	r.hdr = h
+	r.blocksGot, r.recsGot = 0, 0
+	return nil
+}
+
+// ReplayShards streams every shard through fn with bounded memory:
+// workers claim whole shards from an atomic cursor, each worker owns one
+// Reader (and so one set of reusable decode buffers), and fn is called
+// once per decoded block with the shard's index in shards. The record
+// slice passed to fn is only valid during the call. fn must be safe for
+// concurrent calls on distinct shards; ctx is observed between blocks.
+// The first error (or ctx cancellation) stops all workers.
+func ReplayShards[T any](ctx context.Context, codec Codec[T], shards []Shard, workers int, fn func(shard int, recs []T) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	var cursor atomic.Int64
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var r *Reader[T] // this worker's reader; buffers persist across shards
+			defer func() {
+				if r != nil {
+					r.Close()
+				}
+			}()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				if err := replayShard(ctx, codec, shards[i], i, &r, fn); err != nil {
+					errs[w] = err
+					cursor.Store(int64(len(shards))) // stop the other workers
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayShard streams one shard block by block through fn, reusing the
+// worker's Reader (created on the worker's first shard).
+func replayShard[T any](ctx context.Context, codec Codec[T], s Shard, ix int, rp **Reader[T], fn func(int, []T) error) error {
+	if *rp == nil {
+		r, err := OpenReader(codec, s.Path)
+		if err != nil {
+			return err
+		}
+		*rp = r
+	} else if err := (*rp).Reopen(s.Path); err != nil {
+		return err
+	}
+	r := *rp
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		recs, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.Path, err)
+		}
+		if err := fn(ix, recs); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package tracestore
+
+import "fmt"
+
+// SplitBySeed partitions shards into the in-sample set (every record
+// seed < boundary) and the out-of-sample set (every record seed >=
+// boundary). Because writers keep seeds non-decreasing, each shard
+// covers a contiguous range and the split is a clean cut between whole
+// shards: the two returned sets are disjoint and together exhaust the
+// input. A shard whose [SeedLo, SeedHi) range contains the boundary in
+// its interior cannot be assigned to either side and yields
+// ErrSplitStraddle — re-record with RecordsPerShard aligned to the
+// intended boundary instead of guessing.
+func SplitBySeed(shards []Shard, boundary uint64) (in, out []Shard, err error) {
+	for _, s := range shards {
+		switch {
+		case s.Header.SeedHi <= boundary:
+			in = append(in, s)
+		case s.Header.SeedLo >= boundary:
+			out = append(out, s)
+		default:
+			return nil, nil, fmt.Errorf("%w: %s covers [%d,%d) across boundary %d",
+				ErrSplitStraddle, s.Path, s.Header.SeedLo, s.Header.SeedHi, boundary)
+		}
+	}
+	return in, out, nil
+}

@@ -13,6 +13,7 @@ import (
 	_ "talon/internal/eval"
 	_ "talon/internal/fault"
 	_ "talon/internal/fleet"
+	_ "talon/internal/tracestore"
 )
 
 // TestMetricNamesGolden pins the full metric inventory of the default
