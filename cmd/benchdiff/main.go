@@ -20,6 +20,17 @@
 // still line up. Comparisons are advisory by design: single-run deltas
 // on shared CI hardware are noisy, so CI runs them with -strict off and
 // a generous threshold, and regressions are triaged by a human.
+//
+// Same-run speed-up gates (-speedup, repeatable) assert a ratio between
+// two benchmarks of the fresh run itself:
+//
+//	go test ./internal/core/ -run xxx -bench ... | \
+//	    go run ./cmd/benchdiff -against BENCH_engine.json \
+//	    -speedup 'BenchmarkEstimateAoA_Quant>=2xBenchmarkEstimateAoA_Hier'
+//
+// Unlike baseline deltas these compare two measurements from the same
+// machine and process, so they are enforced (exit 1 on violation) even
+// without -strict.
 package main
 
 import (
@@ -135,6 +146,56 @@ func compare(baseline Baseline, fresh []Result, threshold float64, w io.Writer) 
 	return regressed
 }
 
+// speedupGate asserts fast.NsPerOp*factor <= base.NsPerOp within one run.
+type speedupGate struct {
+	fast, base string
+	factor     float64
+}
+
+// speedupSpec matches 'FAST>=FACTORxBASE', e.g.
+// 'BenchmarkEstimateAoA_Quant>=2xBenchmarkEstimateAoA_Hier'.
+var speedupSpec = regexp.MustCompile(`^(Benchmark\S+?)>=([0-9.]+)x(Benchmark\S+)$`)
+
+func parseSpeedup(spec string) (speedupGate, error) {
+	m := speedupSpec.FindStringSubmatch(spec)
+	if m == nil {
+		return speedupGate{}, fmt.Errorf("benchdiff: bad -speedup %q: want 'FAST>=FACTORxBASE'", spec)
+	}
+	factor, err := strconv.ParseFloat(m[2], 64)
+	if err != nil || factor <= 0 {
+		return speedupGate{}, fmt.Errorf("benchdiff: bad -speedup factor in %q", spec)
+	}
+	return speedupGate{fast: m[1], base: m[3], factor: factor}, nil
+}
+
+// checkSpeedups evaluates the gates against one run's results and
+// returns a violation message per failed gate. A gate whose benchmarks
+// are absent from the run fails too — a silently skipped gate would
+// read as a pass.
+func checkSpeedups(gates []speedupGate, fresh []Result, w io.Writer) []string {
+	byName := make(map[string]Result, len(fresh))
+	for _, r := range fresh {
+		byName[r.Name] = r
+	}
+	var violations []string
+	for _, g := range gates {
+		fast, okF := byName[g.fast]
+		base, okB := byName[g.base]
+		if !okF || !okB {
+			violations = append(violations, fmt.Sprintf("%s>=%gx%s: benchmark missing from run", g.fast, g.factor, g.base))
+			continue
+		}
+		got := base.NsPerOp / fast.NsPerOp
+		status := "ok"
+		if fast.NsPerOp*g.factor > base.NsPerOp {
+			status = "VIOLATED"
+			violations = append(violations, fmt.Sprintf("%s is %.2fx faster than %s, want >=%gx", g.fast, got, g.base, g.factor))
+		}
+		fmt.Fprintf(w, "speedup %-72s %6.2fx  %s\n", fmt.Sprintf("%s>=%gx%s", g.fast, g.factor, g.base), got, status)
+	}
+	return violations
+}
+
 func main() {
 	var (
 		doRecord  = flag.Bool("record", false, "canonicalize `go test -bench` text from stdin to baseline JSON on stdout")
@@ -143,6 +204,15 @@ func main() {
 		threshold = flag.Float64("threshold", 0.30, "regression threshold as a fraction of baseline ns/op")
 		note      = flag.String("note", "", "free-form provenance note stored in the recorded baseline")
 	)
+	var gates []speedupGate
+	flag.Func("speedup", "same-run ratio gate 'FAST>=FACTORxBASE' (repeatable); exit 1 on violation", func(spec string) error {
+		g, err := parseSpeedup(spec)
+		if err != nil {
+			return err
+		}
+		gates = append(gates, g)
+		return nil
+	})
 	flag.Parse()
 	if *doRecord == (*against != "") {
 		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -record or -against is required")
@@ -162,6 +232,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		// Gate table goes to stderr so stdout stays valid baseline JSON.
+		if v := checkSpeedups(gates, results, os.Stderr); len(v) > 0 {
+			for _, msg := range v {
+				fmt.Fprintln(os.Stderr, "benchdiff: speedup gate:", msg)
+			}
+			os.Exit(1)
+		}
 		return
 	}
 	raw, err := os.ReadFile(*against)
@@ -175,11 +252,18 @@ func main() {
 		os.Exit(2)
 	}
 	regressed := compare(baseline, results, *threshold, os.Stdout)
+	violations := checkSpeedups(gates, results, os.Stdout)
 	if len(regressed) > 0 {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) beyond +%.0f%%: %v\n",
 			len(regressed), 100**threshold, regressed)
 		if *strict {
 			os.Exit(1)
 		}
+	}
+	if len(violations) > 0 {
+		for _, msg := range violations {
+			fmt.Fprintln(os.Stderr, "benchdiff: speedup gate:", msg)
+		}
+		os.Exit(1)
 	}
 }

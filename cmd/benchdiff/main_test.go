@@ -57,3 +57,46 @@ func TestCompareFlagsRegressionsOnly(t *testing.T) {
 		}
 	}
 }
+
+func TestParseSpeedupSpec(t *testing.T) {
+	g, err := parseSpeedup("BenchmarkEstimateAoA_Quant>=2xBenchmarkEstimateAoA_Hier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.fast != "BenchmarkEstimateAoA_Quant" || g.base != "BenchmarkEstimateAoA_Hier" || g.factor != 2 {
+		t.Fatalf("parsed gate = %+v", g)
+	}
+	if g, err := parseSpeedup("BenchmarkA>=1.5xBenchmarkB"); err != nil || g.factor != 1.5 {
+		t.Fatalf("fractional factor: gate %+v, err %v", g, err)
+	}
+	for _, bad := range []string{"", "BenchmarkA>=xBenchmarkB", "BenchmarkA>2xBenchmarkB", "A>=2xBenchmarkB", "BenchmarkA>=0xBenchmarkB", "BenchmarkA>=-1xBenchmarkB"} {
+		if _, err := parseSpeedup(bad); err == nil {
+			t.Fatalf("spec %q parsed without error", bad)
+		}
+	}
+}
+
+func TestCheckSpeedupsGates(t *testing.T) {
+	fresh := []Result{
+		{Name: "BenchmarkQuant", NsPerOp: 100},
+		{Name: "BenchmarkHier", NsPerOp: 310},
+		{Name: "BenchmarkSlow", NsPerOp: 150},
+	}
+	gates := []speedupGate{
+		{fast: "BenchmarkQuant", base: "BenchmarkHier", factor: 3},   // 3.1x, passes
+		{fast: "BenchmarkSlow", base: "BenchmarkHier", factor: 3},    // 2.07x, fails
+		{fast: "BenchmarkQuant", base: "BenchmarkGone", factor: 1.5}, // missing, fails
+	}
+	var buf strings.Builder
+	violations := checkSpeedups(gates, fresh, &buf)
+	if len(violations) != 2 {
+		t.Fatalf("violations = %v, want 2", violations)
+	}
+	if !strings.Contains(violations[0], "BenchmarkSlow") || !strings.Contains(violations[1], "missing") {
+		t.Fatalf("violations = %v", violations)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "ok") || !strings.Contains(out, "VIOLATED") {
+		t.Fatalf("gate table missing statuses:\n%s", out)
+	}
+}

@@ -27,7 +27,8 @@ func TestEstimateZeroAllocSteadyState(t *testing.T) {
 		name string
 		opts Options
 	}{
-		{"hierarchical", Options{}},
+		{"quant-hierarchical", Options{}},
+		{"float-hierarchical", Options{Kernel: KernelFloat64}},
 		{"exhaustive", Options{ExactSearch: true}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
@@ -52,5 +53,49 @@ func TestEstimateZeroAllocSteadyState(t *testing.T) {
 				t.Fatalf("steady-state EstimateAoA allocates %.1f times per call, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestBatchZeroAllocSteadyState guards the batch-major quantized pass:
+// once the engine's batch scratch pool is warm, a whole
+// SelectSectorBatch performs exactly one allocation — the caller-visible
+// result slice — regardless of batch size. Per-item gather buffers,
+// quantized code vectors and top-K state all live in the pooled
+// quantBatchScratch.
+func TestBatchZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under the race detector")
+	}
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Kernel() != KernelQuantInt16 {
+		t.Fatalf("default options did not build the quantized kernel: %q", est.Kernel())
+	}
+	rng := stats.NewRNG(43)
+	batch := make([][]Probe, 24)
+	for i := range batch {
+		az := -60 + 120*rng.Float64()
+		batch[i] = observe(t, gain, sector.TalonTX(), az, 7, quietModel(), rng)
+	}
+	ctx := context.Background()
+	// Warm the batch scratch pool (workers=1 keeps one chunk, so one
+	// pooled scratch serves every run).
+	for i := 0; i < 5; i++ {
+		if _, err := est.SelectSectorBatch(ctx, batch, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var batchErr error
+	allocs := testing.AllocsPerRun(50, func() {
+		_, batchErr = est.SelectSectorBatch(ctx, batch, 1)
+	})
+	if batchErr != nil {
+		t.Fatal(batchErr)
+	}
+	if allocs > 1 {
+		t.Fatalf("steady-state SelectSectorBatch allocates %.1f times per call, want <= 1 (the result slice)", allocs)
 	}
 }

@@ -53,6 +53,15 @@ func (e *Estimator) SelectSectorBatch(ctx context.Context, batch [][]Probe, work
 	metBatchOccupancy.Set(float64(n) / (float64(workers) * rounds))
 
 	out := make([]BatchResult, n)
+	if e.en != nil && e.en.quant() {
+		// Batch-major quantized pipeline: the coarse dictionary is swept
+		// tile by tile for a whole worker chunk at once (see tile.go).
+		// Per-item results are identical to the per-item loop below.
+		if err := e.selectBatchQuant(ctx, batch, out, workers); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
 	if workers == 1 {
 		for i := range batch {
 			if err := ctx.Err(); err != nil {

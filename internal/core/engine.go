@@ -46,9 +46,22 @@ type engine struct {
 	winEl  int     // dense el radius refined around a candidate cell
 	topK   int     // coarse candidate cells refined per estimate
 
-	surfaces    sync.Pool // *[]float64 of len numAz*numEl
-	colBufs     sync.Pool // *[]int16 probe->column scratch
-	hierScratch sync.Pool // *hierScratch (see hier.go)
+	// Quantized int16 kernel (see quant.go / tile.go). dictQ and coarseQ
+	// are fixed-point twins of dict and coarse ([0, quantOne] amplitude
+	// codes, quantMissing for NaN); empty when the options pin the
+	// float64 kernel or the dictionary has no finite entry. tilePts is
+	// the L1 tile size of the coarse sweeps, in grid points; fullQ marks
+	// a dictionary with no missing entries, enabling the fused
+	// hoisted-moment sweep (jointQFast).
+	dictQ   []int16
+	coarseQ []int16
+	tilePts int
+	fullQ   bool
+
+	surfaces     sync.Pool // *[]float64 of len numAz*numEl
+	colBufs      sync.Pool // *[]int16 probe->column scratch
+	hierScratch  sync.Pool // *hierScratch (see hier.go)
+	batchScratch sync.Pool // *quantBatchScratch (see tile.go)
 }
 
 // newEngine precomputes the dictionary from the pattern set. Returns nil
@@ -99,7 +112,12 @@ func newEngine(set *pattern.Set, opts Options) *engine {
 		s := make([]int16, 0, 64)
 		return &s
 	}
+	en.batchScratch.New = func() any {
+		metScratchMisses.Inc()
+		return &quantBatchScratch{}
+	}
 	en.buildCoarse(opts)
+	en.buildQuant(opts)
 	return en
 }
 

@@ -61,10 +61,13 @@ func benchEstimator(b *testing.B, opts Options) (*Estimator, []Probe) {
 // BenchmarkEstimateAoA_Engine times the exhaustive precomputed-dictionary
 // grid search; BenchmarkEstimateAoA_Serial times the reference per-call
 // Pattern.At path it replaced; BenchmarkEstimateAoA_Hier times the
-// default hierarchical coarse-to-fine search. The _Engine benchmarks pin
-// ExactSearch so their numbers keep measuring the dense path now that
-// the hierarchical search is the default; the acceptance targets are
-// engine ≥ 3× serial and hier ≥ 3× engine on this grid.
+// float64 hierarchical coarse-to-fine search; BenchmarkEstimateAoA_Quant
+// times the default quantized int16 kernel (hierarchical, cache-tiled)
+// and _QuantDense its exhaustive scan. The _Engine benchmarks pin
+// ExactSearch and the _Hier ones pin KernelFloat64 so each name keeps
+// measuring the same code path across default changes; the acceptance
+// targets are engine ≥ 3× serial, hier ≥ 3× engine, and quant ≥ 2× hier
+// on this grid.
 func BenchmarkEstimateAoA_Engine(b *testing.B) {
 	est, probes := benchEstimator(b, Options{ExactSearch: true})
 	b.ResetTimer()
@@ -76,7 +79,7 @@ func BenchmarkEstimateAoA_Engine(b *testing.B) {
 }
 
 func BenchmarkEstimateAoA_Serial(b *testing.B) {
-	est, probes := benchEstimator(b, Options{})
+	est, probes := benchEstimator(b, Options{Kernel: KernelFloat64})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.EstimateAoASerial(probes); err != nil {
@@ -86,7 +89,35 @@ func BenchmarkEstimateAoA_Serial(b *testing.B) {
 }
 
 func BenchmarkEstimateAoA_Hier(b *testing.B) {
+	est, probes := benchEstimator(b, Options{Kernel: KernelFloat64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateAoA_Quant(b *testing.B) {
 	est, probes := benchEstimator(b, Options{})
+	if est.Kernel() != KernelQuantInt16 {
+		b.Fatalf("default options did not build the quantized kernel: %q", est.Kernel())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateAoA_QuantDense(b *testing.B) {
+	// CoarseDecim 1 disables the hierarchy without forcing the float
+	// kernel, so this measures the tiled exhaustive int16 scan.
+	est, probes := benchEstimator(b, Options{CoarseDecim: 1})
+	if est.Kernel() != KernelQuantInt16 {
+		b.Fatalf("options did not build the quantized kernel: %q", est.Kernel())
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.EstimateAoA(context.Background(), probes); err != nil {
@@ -106,7 +137,7 @@ func BenchmarkSelectSector_Engine(b *testing.B) {
 }
 
 func BenchmarkSelectSector_Serial(b *testing.B) {
-	est, probes := benchEstimator(b, Options{})
+	est, probes := benchEstimator(b, Options{Kernel: KernelFloat64})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := est.SelectSectorSerial(probes); err != nil {
@@ -116,6 +147,16 @@ func BenchmarkSelectSector_Serial(b *testing.B) {
 }
 
 func BenchmarkSelectSector_Hier(b *testing.B) {
+	est, probes := benchEstimator(b, Options{Kernel: KernelFloat64})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SelectSector(context.Background(), probes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectSector_Quant(b *testing.B) {
 	est, probes := benchEstimator(b, Options{})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -141,12 +182,14 @@ func benchBatch(b *testing.B, est *Estimator, probes []Probe, n int) [][]Probe {
 	return batch
 }
 
-// BenchmarkSelectSectorBatch_Loop is the campaign shape this PR
-// replaces: SelectSector called per trial in a plain loop against the
+// BenchmarkSelectSectorBatch_Loop is the campaign shape the batch API
+// replaced: SelectSector called per trial in a plain loop against the
 // dense exhaustive search. BenchmarkSelectSectorBatch_Pool is the
-// replacement: the same trials through SelectSectorBatch with the
+// float64 batch path: the same trials through SelectSectorBatch with the
 // hierarchical search, one persistent worker pool, and nested engine
-// sharding disabled. The delta between the two is the batched-campaign
+// sharding disabled. BenchmarkSelectSectorBatch_Quant is the batch-major
+// quantized pass (tile.go), where the whole batch shares one tiled
+// dictionary sweep. The _Pool / _Quant delta is the batched-campaign
 // wall-clock improvement recorded in BENCH_engine.json.
 func BenchmarkSelectSectorBatch_Loop(b *testing.B) {
 	est, probes := benchEstimator(b, Options{ExactSearch: true})
@@ -162,6 +205,17 @@ func BenchmarkSelectSectorBatch_Loop(b *testing.B) {
 }
 
 func BenchmarkSelectSectorBatch_Pool(b *testing.B) {
+	est, probes := benchEstimator(b, Options{Kernel: KernelFloat64})
+	batch := benchBatch(b, est, probes, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.SelectSectorBatch(context.Background(), batch, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelectSectorBatch_Quant(b *testing.B) {
 	est, probes := benchEstimator(b, Options{})
 	batch := benchBatch(b, est, probes, 64)
 	b.ResetTimer()

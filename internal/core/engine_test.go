@@ -222,7 +222,11 @@ func TestEstimateCancellation(t *testing.T) {
 // estimator to exercise the scratch pools under the race detector.
 func TestEngineConcurrentUse(t *testing.T) {
 	set, gain := synthSetup(t)
-	est, err := NewEstimator(set, Options{})
+	// Pinned to the float kernel: the test checks bit-for-bit agreement
+	// with the serial reference, a contract only KernelFloat64 carries.
+	// Concurrent use of the quantized kernel is covered by the batch
+	// tests and the quant equivalence suite.
+	est, err := NewEstimator(set, Options{Kernel: KernelFloat64})
 	if err != nil {
 		t.Fatal(err)
 	}

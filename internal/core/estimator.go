@@ -89,6 +89,13 @@ type Options struct {
 	// TopK is the number of coarse candidate cells the hierarchical
 	// search refines on the dense grid. 0 picks DefaultTopK.
 	TopK int
+	// Kernel pins the correlation-kernel implementation (see quant.go).
+	// KernelAuto (the zero value) picks the default — currently the
+	// quantized int16 kernel; KernelFloat64 pins the exact float64
+	// reference. ExactSearch implies KernelFloat64. Golden artifacts
+	// should pin the kernel they were recorded with so kernel-default
+	// changes cannot drift them.
+	Kernel Kernel
 }
 
 // DefaultFallbackCorr is the default reliability threshold. Joint Eq. 5
@@ -124,10 +131,14 @@ type Estimator struct {
 }
 
 // gatherScratch holds the pooled measurement-vector buffers of one
-// estimate.
+// estimate. The float kernel fills ids/snr/rssi (linear amplitudes);
+// the quantized kernel fills ids/snrDB/rssiDB (raw dB) and then the
+// code vectors and hoisted moments of qv (see quant.go).
 type gatherScratch struct {
-	ids       []sector.ID
-	snr, rssi []float64
+	ids           []sector.ID
+	snr, rssi     []float64
+	snrDB, rssiDB []float64
+	qv            quantVec
 }
 
 // NewEstimator builds an estimator over the measured patterns and
@@ -136,6 +147,11 @@ type gatherScratch struct {
 func NewEstimator(patterns *pattern.Set, opts Options) (*Estimator, error) {
 	if patterns == nil || len(patterns.TXIDs()) < 2 {
 		return nil, errors.New("core: estimator needs a pattern set with at least 2 TX sectors")
+	}
+	switch opts.Kernel {
+	case KernelAuto, KernelQuantInt16, KernelFloat64:
+	default:
+		return nil, fmt.Errorf("core: unknown correlation kernel %q", opts.Kernel)
 	}
 	e := &Estimator{patterns: patterns, opts: opts, en: newEngine(patterns, opts), txIDs: patterns.TXIDs()}
 	e.gathers.New = func() any {
@@ -147,6 +163,16 @@ func NewEstimator(patterns *pattern.Set, opts Options) (*Estimator, error) {
 
 // Patterns returns the pattern set the estimator searches.
 func (e *Estimator) Patterns() *pattern.Set { return e.patterns }
+
+// Kernel reports the correlation kernel actually serving estimates —
+// which can differ from Options.Kernel when the quantized build was
+// skipped (ExactSearch, or a dictionary with no finite entry).
+func (e *Estimator) Kernel() Kernel {
+	if e.en != nil && e.en.quant() {
+		return KernelQuantInt16
+	}
+	return KernelFloat64
+}
 
 // AoAEstimate is the result of the angle-of-arrival search.
 type AoAEstimate struct {
@@ -321,6 +347,9 @@ func (e *Estimator) estimate(ctx context.Context, probes []Probe, maxShards int)
 	metScratchGets.Inc()
 	g := e.gathers.Get().(*gatherScratch)
 	defer e.gathers.Put(g)
+	if e.en != nil && e.en.quant() {
+		return e.estimateQuant(ctx, g, probes)
+	}
 	reported := e.gatherInto(g, probes)
 	if reported < 2 {
 		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)

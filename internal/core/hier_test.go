@@ -96,7 +96,11 @@ func (c *equivCounter) assertRate(t *testing.T, minTrials int) {
 // diagonal of its angle estimate.
 func TestHierMatchesExhaustiveClean(t *testing.T) {
 	set, gain := synthSetup(t)
-	hier, err := NewEstimator(set, Options{})
+	// The whole hier suite pins KernelFloat64: it isolates the
+	// hierarchical search against the exhaustive scan on the same
+	// (float) arithmetic. The quantized kernel has its own equivalence
+	// suite in quant_equiv_test.go.
+	hier, err := NewEstimator(set, Options{Kernel: KernelFloat64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +178,7 @@ func TestHierMatchesExhaustiveFaultyChannel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hier, err := NewEstimator(patterns, Options{})
+	hier, err := NewEstimator(patterns, Options{Kernel: KernelFloat64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +230,7 @@ func TestHierMatchesExhaustiveFaultyChannel(t *testing.T) {
 // ErrDegenerateSurface sentinel as exact mode.
 func TestHierDegenerateSurface(t *testing.T) {
 	set, _ := synthSetup(t)
-	hier, err := NewEstimator(set, Options{})
+	hier, err := NewEstimator(set, Options{Kernel: KernelFloat64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +264,7 @@ func TestHierDegenerateSurface(t *testing.T) {
 // smallest estimable vector — must produce the same selection.
 func TestHierMinimumProbes(t *testing.T) {
 	set, gain := synthSetup(t)
-	hier, err := NewEstimator(set, Options{})
+	hier, err := NewEstimator(set, Options{Kernel: KernelFloat64})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -51,4 +51,14 @@ var (
 		"item count of the most recent batch")
 	metBatchOccupancy = obs.NewFloatGauge("core_batch_occupancy",
 		"worker-slot occupancy of the most recent batch (items / workers x rounds)")
+	metQuantEstimates = obs.NewCounter("core_quant_estimates_total",
+		"estimates served by the quantized int16 kernel")
+	metQuantFallbacks = obs.NewCounter("core_quant_fallbacks_total",
+		"quantized estimates that fell back to the exhaustive quantized scan")
+	metQuantDictBytes = obs.NewGauge("core_quant_dict_bytes",
+		"size of the quantized dense+coarse dictionaries of the most recent engine build")
+	metQuantTilePoints = obs.NewGauge("core_quant_tile_points",
+		"grid points per L1 dictionary tile of the most recent engine build")
+	metQuantBatchTiles = obs.NewCounter("core_quant_batch_tiles_total",
+		"coarse dictionary tiles swept by the batch-major quantized pass")
 )

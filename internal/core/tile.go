@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Batch-major quantized selection.
+//
+// The per-item batch path walks the whole coarse dictionary once per
+// item: with 64 items the dictionary is streamed from memory 64 times.
+// The batch-major pass inverts the loops — dictionary tile outer, batch
+// item inner — so one L1-resident tile of int16 codes serves every item
+// of a worker's chunk before the next tile is touched (the access shape
+// of a blocked GEMM, with coarseTopKQ's int32 accumulation as the inner
+// product). Tiles are contiguous row-major point ranges and coarseTopKQ
+// folds them in ascending order, so each item's top-K is identical to
+// the single-item row-major scan: per-item results are bit-identical to
+// SelectSector, preserving the batch contract at any worker count.
+
+// tileBytes is the dictionary tile budget: half a typical 32 KiB L1D,
+// leaving room for the probe vectors and top-K state of the items
+// sharing the tile.
+const tileBytes = 16 << 10
+
+// tilePoints returns how many grid points of stride int16 codes fit one
+// tile.
+func tilePoints(stride int) int {
+	pts := tileBytes / (2 * stride)
+	if pts < 8 {
+		pts = 8
+	}
+	return pts
+}
+
+// quantItem is the per-item state of one batch-major selection.
+type quantItem struct {
+	g        gatherScratch
+	cols     []int16
+	sc       *hierScratch
+	reported int
+	kept     int
+	done     bool // selection already decided in phase 1 (gather error)
+	err      error
+}
+
+// quantBatchScratch holds one worker chunk's items; pooled on the engine
+// so steady-state batches allocate nothing.
+type quantBatchScratch struct {
+	items []quantItem
+}
+
+// grow ensures capacity for n items with topK-sized candidate scratch.
+func (bs *quantBatchScratch) grow(n, topK int) {
+	for len(bs.items) < n {
+		bs.items = append(bs.items, quantItem{sc: newHierScratch(topK)})
+	}
+}
+
+func (en *engine) getBatchScratch() *quantBatchScratch {
+	metScratchGets.Inc()
+	return en.batchScratch.Get().(*quantBatchScratch)
+}
+
+func (en *engine) putBatchScratch(bs *quantBatchScratch) { en.batchScratch.Put(bs) }
+
+// selectBatchQuant runs the batch through the batch-major quantized
+// pipeline, filling out[i] with exactly what SelectSector would produce
+// for batch[i]. Items are split into contiguous per-worker chunks; the
+// split only affects which items share a dictionary sweep, never any
+// item's result. Returns non-nil only on context cancellation, in which
+// case out is discarded by the caller.
+func (e *Estimator) selectBatchQuant(ctx context.Context, batch [][]Probe, out []BatchResult, workers int) error {
+	n := len(batch)
+	if workers <= 1 {
+		return e.quantChunk(ctx, batch, out)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			// Cancellation is surfaced via ctx.Err() below.
+			_ = e.quantChunk(ctx, batch[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
+// quantChunk runs one contiguous chunk: gather and quantize every item,
+// sweep the coarse dictionary tiles once for the whole chunk, then
+// refine and finish each item.
+func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []BatchResult) error {
+	en := e.en
+	n := len(batch)
+	snrOnly := e.opts.SNROnly
+	bs := en.getBatchScratch()
+	defer en.putBatchScratch(bs)
+	bs.grow(n, en.topK)
+	items := bs.items[:n]
+
+	// Phase 1: gather + quantize each item's probe vector.
+	live := 0
+	for i := range items {
+		it := &items[i]
+		metSelectEngine.Inc()
+		metEstimates.Inc()
+		metQuantEstimates.Inc()
+		it.kept, it.err, it.done = 0, nil, false
+		it.reported = e.gatherQuantInto(&it.g, batch[i])
+		if it.reported < 2 {
+			it.err = fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, it.reported)
+			it.done = true
+			continue
+		}
+		it.cols = it.cols[:0]
+		for _, id := range it.g.ids {
+			it.cols = append(it.cols, en.cols[id])
+		}
+		quantizeGather(&it.g, it.cols, en.fullQ)
+		live++
+	}
+
+	// Phase 2: shared tiled coarse sweep — every live item folds the
+	// current tile into its top-K while the tile is cache-hot.
+	if live > 0 {
+		nPts := len(en.cAzIdx) * len(en.cElIdx)
+		for lo := 0; lo < nPts; lo += en.tilePts {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			metQuantBatchTiles.Inc()
+			hi := min(lo+en.tilePts, nPts)
+			for i := range items {
+				it := &items[i]
+				if it.done {
+					continue
+				}
+				it.kept = en.coarseTopKQ(lo, hi, &it.g.qv, snrOnly, it.sc.cells, it.sc.scores, it.kept)
+			}
+		}
+	}
+
+	// Phase 3: per-item dense refinement (or exhaustive fallback) and
+	// sector selection.
+	for i := range items {
+		it := &items[i]
+		if it.done {
+			sel, err := e.finishSelection(batch[i], AoAEstimate{}, it.err)
+			out[i] = BatchResult{Selection: sel, Err: err}
+			continue
+		}
+		var bestA, bestE int
+		var bestW float64
+		var err error
+		if it.kept == 0 {
+			if len(en.coarseQ) > 0 {
+				metQuantFallbacks.Inc()
+			}
+			bestA, bestE, bestW, err = en.denseArgmaxQ(ctx, &it.g.qv, snrOnly)
+		} else {
+			bestA, bestE, bestW, err = en.refineQ(ctx, it.sc, it.kept, &it.g.qv, snrOnly)
+		}
+		if err != nil {
+			return err
+		}
+		if bestW <= 0 {
+			metDegenerate.Inc()
+			degErr := fmt.Errorf("core: %w", ErrDegenerateSurface)
+			sel, serr := e.finishSelection(batch[i], AoAEstimate{}, degErr)
+			out[i] = BatchResult{Selection: sel, Err: serr}
+			continue
+		}
+		aoa := e.quantEpilogue(&it.g, it.cols, bestA, bestE, it.reported)
+		sel, serr := e.finishSelection(batch[i], aoa, nil)
+		out[i] = BatchResult{Selection: sel, Err: serr}
+	}
+	return nil
+}

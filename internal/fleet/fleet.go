@@ -19,6 +19,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"talon/internal/core"
@@ -165,10 +166,12 @@ type Manager struct {
 	shards []*shard
 	mask   uint64
 
-	// stepMu serializes Step; virtual time and the scorecard tally are
-	// only touched under it.
+	// stepMu serializes Step; the scorecard tally and pending queue are
+	// only touched under it. The virtual clock is atomic because
+	// arrivals stamp arrivedAt under their shard lock alone, which may
+	// interleave with a concurrent Step advancing the epoch.
 	stepMu  sync.Mutex
-	now     time.Duration
+	now     atomic.Int64 // time.Duration nanoseconds
 	epoch   uint64
 	pending []request
 	acc     tally
@@ -285,7 +288,7 @@ func (m *Manager) arriveLocked(sh *shard, ev Event) bool {
 		el:             ev.ElDeg,
 		dist:           ev.DistM,
 		driftDegPerSec: ev.DriftDegPerSec,
-		arrivedAt:      m.now,
+		arrivedAt:      time.Duration(m.now.Load()),
 	}
 	metArrivals.Inc()
 	metStations.Add(1)
@@ -353,9 +356,7 @@ func (m *Manager) Snapshot(id StationID) (Snapshot, bool) {
 
 // Now returns the manager's virtual clock (the end of the last Step).
 func (m *Manager) Now() time.Duration {
-	m.stepMu.Lock()
-	defer m.stepMu.Unlock()
-	return m.now
+	return time.Duration(m.now.Load())
 }
 
 // Pending returns the number of training rounds queued for service.

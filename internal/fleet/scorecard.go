@@ -200,7 +200,7 @@ func (m *Manager) scorecard(cfg SimConfig, queueDrops int64) *Scorecard {
 		Config:        cfg,
 		StationsFinal: 0, // filled by caller outside stepMu via Len
 		Epochs:        int64(m.epoch),
-		VirtualNs:     int64(m.now),
+		VirtualNs:     m.now.Load(),
 		Trainings:     t.trainings,
 		Retrains:      t.retrains,
 		Failures:      t.failures,
@@ -213,8 +213,8 @@ func (m *Manager) scorecard(cfg SimConfig, queueDrops int64) *Scorecard {
 		SelectionLoss: lossSummary(&t.selLoss),
 		TrackingLoss:  lossSummary(&t.trackLoss),
 	}
-	if m.now > 0 {
-		sc.RetrainsPerSec = float64(t.retrains) / (float64(m.now) / float64(time.Second))
+	if now := m.now.Load(); now > 0 {
+		sc.RetrainsPerSec = float64(t.retrains) / (float64(now) / float64(time.Second))
 	}
 	sc.Note = "fleetsim virtual scorecard (deterministic; not wall-clock)"
 	sc.Benchmarks = []BenchEntry{

@@ -44,7 +44,7 @@ func (m *Manager) Step(ctx context.Context) error {
 	defer metStepSeconds.ObserveSince(start)
 	metEpochs.Inc()
 
-	epochStart := m.now
+	epochStart := time.Duration(m.now.Load())
 	epochEnd := epochStart + m.cfg.epoch
 
 	// Phase 1+2: parallel shard scan, deterministic merge.
@@ -68,7 +68,7 @@ func (m *Manager) Step(ctx context.Context) error {
 		m.pending = m.pending[:n]
 	}
 
-	m.now = epochEnd
+	m.now.Store(int64(epochEnd))
 	m.epoch++
 	return nil
 }

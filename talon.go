@@ -112,6 +112,19 @@ type (
 	// SetInjector; build one from internal/fault or use
 	// Standard60GHzFaults.
 	FaultInjector = fault.Injector
+	// Kernel names a correlation-kernel implementation (see
+	// EstimatorOptions.Kernel and WithFloatKernel).
+	Kernel = core.Kernel
+)
+
+// The correlation kernels an estimator can run on (EstimatorOptions.Kernel).
+const (
+	// KernelAuto picks the default kernel — currently KernelQuantInt16.
+	KernelAuto = core.KernelAuto
+	// KernelQuantInt16 is the cache-tiled quantized int16 kernel.
+	KernelQuantInt16 = core.KernelQuantInt16
+	// KernelFloat64 is the exact float64 reference kernel.
+	KernelFloat64 = core.KernelFloat64
 )
 
 // The FallbackReason values a degraded Selection reports.
@@ -242,6 +255,7 @@ type trainerConfig struct {
 	seed    int64
 	estOpts EstimatorOptions
 	exact   bool
+	float   bool
 }
 
 // DefaultM is the probe budget a Trainer uses unless WithM overrides it:
@@ -276,6 +290,18 @@ func WithExactSearch() TrainerOption {
 	return func(c *trainerConfig) { c.exact = true }
 }
 
+// WithFloatKernel pins the float64 correlation kernel instead of the
+// default quantized int16 kernel (core/quant.go). The quantized kernel
+// is equivalence-gated — not bit-identical — against float64: it selects
+// the same sector on ≥99% of seeded trials and lands within one
+// coarse-cell diagonal on the rest, at a fraction of the cost. Pin the
+// float kernel when reproducing artifacts recorded before the quantized
+// default, or when auditing against the serial reference (WithExactSearch
+// implies it). Composes with WithEstimatorOptions regardless of order.
+func WithFloatKernel() TrainerOption {
+	return func(c *trainerConfig) { c.float = true }
+}
+
 // NewTrainer builds a trainer over link using the transmitter's measured
 // pattern set, configured by functional options:
 //
@@ -290,6 +316,9 @@ func NewTrainer(link *Link, patterns *PatternSet, opts ...TrainerOption) (*Train
 	}
 	if cfg.exact {
 		cfg.estOpts.ExactSearch = true
+	}
+	if cfg.float {
+		cfg.estOpts.Kernel = core.KernelFloat64
 	}
 	if link == nil {
 		return nil, fmt.Errorf("talon: trainer needs a link")
