@@ -3,24 +3,38 @@
 //
 //	go run ./cmd/talonlint ./...
 //
-// Four analyzers enforce the invariants the reproduction's claims rest
+// Eight analyzers enforce the invariants the reproduction's claims rest
 // on (see internal/analysis):
 //
-//	determinism  no time.Now/time.Since or global math/rand in library code
-//	ctxfirst     context-first APIs, no conjured root contexts
-//	metricname   snake_case, prefixed, golden-pinned obs metric names
-//	senterr      sentinel errors matched with errors.Is, wrapped with %w
+//	determinism     no time.Now/time.Since or global math/rand in library code
+//	ctxfirst        context-first APIs, no conjured root contexts
+//	metricname      snake_case, prefixed, golden-pinned obs metric names
+//	senterr         sentinel errors matched with errors.Is, wrapped with %w
+//	lockdiscipline  every mutex acquire pairs with a release; no double-lock
+//	atomicmix       no plain access to fields touched through sync/atomic
+//	goroutinescope  goroutines joined (WaitGroup/channel) or ctx-scoped
+//	noalloc         //talon:noalloc functions avoid allocating constructs
 //
 // determinism and ctxfirst are scoped to the deterministic library
 // packages (internal/{core,eval,fault,wil,channel,stats,testbed,
-// session,fleet}); metricname and senterr apply module-wide. cmd/
-// binaries own their roots and wall clocks by design. Findings are
-// suppressed line-by-line with `//lint:allow <analyzer> -- <reason>`.
+// session,fleet,tracestore}); lockdiscipline and atomicmix extend that
+// scope with internal/obs (where the mutexes live); goroutinescope
+// binds the packages that promise structured concurrency
+// (internal/{core,eval,fleet,session,tracestore,obs}); metricname,
+// senterr and noalloc apply module-wide. cmd/ binaries own their roots,
+// wall clocks and goroutines by design. Findings are suppressed
+// line-by-line with `//lint:allow <analyzer> -- <reason>`; an allow
+// that suppresses nothing is itself reported as stale.
 //
-// Exit status is 1 when any finding survives, so CI can require it.
+// -json emits every diagnostic — suppressed ones included, flagged — as
+// a JSON array on stdout for machine consumption (the CI artifact).
+//
+// Exit status is 1 when any unsuppressed finding survives, so CI can
+// require it.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,13 +44,23 @@ import (
 	"talon/internal/analysis"
 )
 
-// scopedRe matches the import paths of the deterministic library
+// libScopeRe matches the import paths of the deterministic library
 // packages that determinism and ctxfirst bind.
-var scopedRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed|session|fleet|tracestore)(/|$)`)
+var libScopeRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed|session|fleet|tracestore)(/|$)`)
+
+// concScopeRe adds internal/obs to the library scope for the mutex- and
+// atomic-convention analyzers: obs is excused from determinism (it
+// wraps the wall clock) but its locks follow the same discipline.
+var concScopeRe = regexp.MustCompile(`/internal/(core|eval|fault|wil|channel|stats|testbed|session|fleet|tracestore|obs)(/|$)`)
+
+// goScopeRe matches the packages that promise structured concurrency:
+// every goroutine they launch is joined or cancellation-scoped.
+var goScopeRe = regexp.MustCompile(`/internal/(core|eval|fleet|session|tracestore|obs)(/|$)`)
 
 func main() {
 	golden := flag.String("golden", "", "metric inventory file (default <module>/testdata/metric_names.golden)")
 	dir := flag.String("C", "", "run as if started in this directory")
+	jsonOut := flag.Bool("json", false, "emit all diagnostics (suppressed included) as JSON on stdout")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: talonlint [flags] [packages]\n\n")
 		flag.PrintDefaults()
@@ -47,7 +71,7 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	findings, err := run(*dir, *golden, patterns)
+	findings, err := run(*dir, *golden, *jsonOut, patterns)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "talonlint:", err)
 		os.Exit(2)
@@ -58,7 +82,19 @@ func main() {
 	}
 }
 
-func run(dir, golden string, patterns []string) (int, error) {
+// jsonDiag is the machine-readable shape of one diagnostic.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// run lints the matched packages and returns the number of unsuppressed
+// findings.
+func run(dir, golden string, jsonOut bool, patterns []string) (int, error) {
 	if golden == "" {
 		root, err := moduleRoot(dir)
 		if err != nil {
@@ -72,18 +108,47 @@ func run(dir, golden string, patterns []string) (int, error) {
 		return 0, err
 	}
 
-	wide := []*analysis.Analyzer{analysis.NewMetricName(golden), analysis.SentErr}
-	scoped := []*analysis.Analyzer{analysis.Determinism, analysis.CtxFirst}
+	wide := []*analysis.Analyzer{analysis.NewMetricName(golden), analysis.SentErr, analysis.NoAlloc}
 
 	findings := 0
+	all := []jsonDiag{} // marshals to [] rather than null when empty
 	for _, pkg := range pkgs {
-		as := wide
-		if scopedRe.MatchString("/" + pkg.ImportPath) {
-			as = append(append([]*analysis.Analyzer(nil), scoped...), wide...)
+		as := append([]*analysis.Analyzer(nil), wide...)
+		path := "/" + pkg.ImportPath
+		if libScopeRe.MatchString(path) {
+			as = append(as, analysis.Determinism, analysis.CtxFirst)
 		}
-		for _, d := range analysis.RunAnalyzers(pkg, as...) {
-			fmt.Println(d)
+		if concScopeRe.MatchString(path) {
+			as = append(as, analysis.LockDiscipline, analysis.AtomicMix)
+		}
+		if goScopeRe.MatchString(path) {
+			as = append(as, analysis.GoroutineScope)
+		}
+		for _, d := range analysis.RunAnalyzersAll(pkg, as...) {
+			if jsonOut {
+				all = append(all, jsonDiag{
+					File:       d.Pos.Filename,
+					Line:       d.Pos.Line,
+					Col:        d.Pos.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
+			}
+			if d.Suppressed {
+				continue
+			}
+			if !jsonOut {
+				fmt.Println(d)
+			}
 			findings++
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			return 0, err
 		}
 	}
 	return findings, nil

@@ -1,11 +1,17 @@
 // Package analysis is talon's project-specific static-analysis suite: a
 // minimal, dependency-free reimplementation of the golang.org/x/tools
-// go/analysis surface (Analyzer, Pass, Diagnostic) plus four analyzers
+// go/analysis surface (Analyzer, Pass, Diagnostic) plus eight analyzers
 // that machine-check the conventions the reproduction's headline claims
 // rest on — determinism (no wall clocks or global randomness in library
 // code), ctxfirst (context-first APIs, no conjured root contexts),
-// metricname (snake_case obs metric names pinned by a golden inventory)
-// and senterr (sentinel errors matched with errors.Is, wrapping with %w).
+// metricname (snake_case obs metric names pinned by a golden inventory),
+// senterr (sentinel errors matched with errors.Is, wrapping with %w),
+// lockdiscipline (every mutex acquire pairs with a release; no
+// double-lock or mutex copies), atomicmix (a field accessed through
+// sync/atomic is never touched plainly), goroutinescope (goroutines are
+// joined or cancellation-scoped) and noalloc (//talon:noalloc functions
+// avoid allocating constructs). The last four share a per-package fact
+// layer (see facts.go) so type resolution happens once.
 //
 // The x/tools module is intentionally not a dependency: the suite loads
 // packages with `go list -export` and type-checks them through the
@@ -17,7 +23,9 @@
 //
 //	//lint:allow <analyzer> -- <reason>
 //
-// The reason is mandatory; a bare allow comment is itself reported.
+// The reason is mandatory; a bare allow comment is itself reported, and
+// so is a stale one — an allow naming an analyzer that ran but claimed
+// no finding on its lines suppresses nothing and must be removed.
 package analysis
 
 import (
@@ -50,6 +58,7 @@ type Pass struct {
 
 	analyzer *Analyzer
 	diags    []Diagnostic
+	pkg      *Package // fact-cache host; nil for hand-built passes
 }
 
 // Diagnostic is one finding.
@@ -57,6 +66,10 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a finding claimed by a //lint:allow comment; such
+	// findings are reported by RunAnalyzersAll (for machine-readable
+	// output) and dropped by RunAnalyzers.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -78,16 +91,29 @@ var allowRe = regexp.MustCompile(`^//lint:allow\s+([a-z]+)\s+--\s+\S`)
 // allowAnyRe matches anything that looks like an attempted suppression.
 var allowAnyRe = regexp.MustCompile(`^//lint:allow\b`)
 
-// allowSet indexes suppressions by file and line.
-type allowSet map[string]map[int]map[string]bool
+// allowRecord is one //lint:allow comment. used tracks whether any
+// finding was actually claimed by it, so that stale suppressions —
+// comments that suppress nothing — can themselves be reported.
+type allowRecord struct {
+	analyzer string
+	pos      token.Position
+	used     bool
+}
 
-// collectAllows scans the comments of files for //lint:allow markers. A
-// marker suppresses the named analyzer on its own line and on the line
-// below it (so both trailing and preceding-line comments work).
+// allowSet indexes suppression records by file and line. The same
+// record is registered on the comment's own line and the line below it
+// (so both trailing and preceding-line comments work), and the two
+// entries share used-state.
+type allowSet struct {
+	byLine  map[string]map[int][]*allowRecord
+	records []*allowRecord
+}
+
+// collectAllows scans the comments of files for //lint:allow markers.
 // Malformed markers (missing the mandatory "-- reason") are returned as
 // diagnostics under the pseudo-analyzer "lintallow".
-func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnostic) {
-	allows := make(allowSet)
+func collectAllows(fset *token.FileSet, files []*ast.File) (*allowSet, []Diagnostic) {
+	allows := &allowSet{byLine: make(map[string]map[int][]*allowRecord)}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -106,17 +132,15 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 					})
 					continue
 				}
-				name := m[1]
-				byLine := allows[pos.Filename]
+				rec := &allowRecord{analyzer: m[1], pos: pos}
+				allows.records = append(allows.records, rec)
+				byLine := allows.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					allows[pos.Filename] = byLine
+					byLine = make(map[int][]*allowRecord)
+					allows.byLine[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					if byLine[line] == nil {
-						byLine[line] = make(map[string]bool)
-					}
-					byLine[line][name] = true
+					byLine[line] = append(byLine[line], rec)
 				}
 			}
 		}
@@ -124,35 +148,77 @@ func collectAllows(fset *token.FileSet, files []*ast.File) (allowSet, []Diagnost
 	return allows, bad
 }
 
-func (a allowSet) allowed(d Diagnostic) bool {
-	byLine, ok := a[d.Pos.Filename]
-	if !ok {
-		return false
+// suppress marks d suppressed when an allow comment claims it, and the
+// claiming record as used.
+func (a *allowSet) suppress(d *Diagnostic) bool {
+	for _, rec := range a.byLine[d.Pos.Filename][d.Pos.Line] {
+		if rec.analyzer == d.Analyzer {
+			rec.used = true
+			d.Suppressed = true
+			return true
+		}
 	}
-	return byLine[d.Pos.Line][d.Analyzer]
+	return false
+}
+
+// stale returns a "lintallow" diagnostic for every unused record naming
+// an analyzer in ran: the comment suppresses nothing, so either the
+// finding it excused is gone (remove the comment) or the analyzer name
+// is wrong (fix it). Records naming analyzers outside the run set are
+// left alone — this invocation cannot judge them.
+func (a *allowSet) stale(ran map[string]bool) []Diagnostic {
+	var diags []Diagnostic
+	for _, rec := range a.records {
+		if rec.used || !ran[rec.analyzer] {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      rec.pos,
+			Analyzer: "lintallow",
+			Message:  fmt.Sprintf("stale //lint:allow %s: the comment suppresses no finding; remove it", rec.analyzer),
+		})
+	}
+	return diags
 }
 
 // RunAnalyzers applies analyzers to a loaded package and returns the
 // surviving diagnostics (allow-comment suppressions applied), sorted by
-// position. Malformed allow comments are always reported.
+// position. Malformed and stale allow comments are always reported.
 func RunAnalyzers(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, d := range RunAnalyzersAll(pkg, analyzers...) {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags
+}
+
+// RunAnalyzersAll is RunAnalyzers without the suppression filter: every
+// finding is returned, with those claimed by a //lint:allow comment
+// carrying Suppressed — the shape machine-readable output wants.
+func RunAnalyzersAll(pkg *Package, analyzers ...*Analyzer) []Diagnostic {
 	allows, bad := collectAllows(pkg.Fset, pkg.Files)
 	diags := append([]Diagnostic(nil), bad...)
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Fset:      pkg.Fset,
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			analyzer:  a,
+			pkg:       pkg,
 		}
 		a.Run(pass)
-		for _, d := range pass.diags {
-			if !allows.allowed(d) {
-				diags = append(diags, d)
-			}
+		for i := range pass.diags {
+			d := pass.diags[i]
+			allows.suppress(&d)
+			diags = append(diags, d)
 		}
 	}
+	diags = append(diags, allows.stale(ran)...)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {

@@ -33,19 +33,34 @@ func g() {}
 
 	// The well-formed allow (line 7) suppresses its own line and line 8.
 	d := Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: 8}, Analyzer: "determinism"}
-	if !allows.allowed(d) {
+	if !allows.suppress(&d) || !d.Suppressed {
 		t.Errorf("line below a well-formed allow is not suppressed")
 	}
 	// The malformed allow (line 4) suppresses nothing.
-	d.Pos.Line = 5
-	if allows.allowed(d) {
+	d = Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: 5}, Analyzer: "determinism"}
+	if allows.suppress(&d) {
 		t.Errorf("malformed allow suppressed a diagnostic")
 	}
 	// Suppression is per-analyzer.
-	d.Pos.Line = 8
-	d.Analyzer = "ctxfirst"
-	if allows.allowed(d) {
+	d = Diagnostic{Pos: token.Position{Filename: "fixture.go", Line: 8}, Analyzer: "ctxfirst"}
+	if allows.suppress(&d) {
 		t.Errorf("allow for determinism suppressed a ctxfirst diagnostic")
+	}
+
+	// The claimed record is no longer stale; an unclaimed one naming an
+	// analyzer in the run set is.
+	stale := allows.stale(map[string]bool{"determinism": true})
+	if len(stale) != 0 {
+		t.Errorf("claimed allow reported stale: %v", stale)
+	}
+	allows2, _ := collectAllows(fset, []*ast.File{f})
+	stale = allows2.stale(map[string]bool{"determinism": true})
+	if len(stale) != 1 || !strings.Contains(stale[0].Message, "stale") {
+		t.Errorf("unclaimed allow not reported stale: %v", stale)
+	}
+	// An allow naming an analyzer outside the run set is not judged.
+	if got := allows2.stale(map[string]bool{"ctxfirst": true}); len(got) != 0 {
+		t.Errorf("allow for an analyzer that did not run reported stale: %v", got)
 	}
 }
 

@@ -41,4 +41,43 @@ func TestSentErr(t *testing.T) {
 	RunFixture(t, SentErr, "senterr")
 }
 
+func TestLockDiscipline(t *testing.T) {
+	RunFixture(t, LockDiscipline, "lockdiscipline")
+}
+
+func TestAtomicMix(t *testing.T) {
+	RunFixture(t, AtomicMix, "atomicmix")
+}
+
+func TestGoroutineScope(t *testing.T) {
+	RunFixture(t, GoroutineScope, "goroutinescope")
+}
+
+func TestNoAlloc(t *testing.T) {
+	RunFixture(t, NoAlloc, "noalloc")
+}
+
+func TestFactsSharedAcrossAnalyzers(t *testing.T) {
+	// The four concurrency/allocation analyzers share one fact pass per
+	// package: the cache lives on the Package, so running them together
+	// must reuse the pointer rather than rebuild.
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(moduleDir, filepath.Join("testdata", "src", "atomicmix"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	RunAnalyzersAll(pkg, LockDiscipline, AtomicMix, GoroutineScope, NoAlloc)
+	first := pkg.facts
+	if first == nil {
+		t.Fatal("fact layer not built by the analyzer run")
+	}
+	RunAnalyzersAll(pkg, AtomicMix)
+	if pkg.facts != first {
+		t.Error("fact layer rebuilt instead of reused")
+	}
+}
+
 func containsStr(s, sub string) bool { return indexOf(s, sub) >= 0 }

@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"sort"
+
+	"go/types"
+)
+
+// AtomicMix flags struct fields that are accessed through sync/atomic
+// somewhere in the package and read or written plainly somewhere else —
+// exactly the race shape PR 8 fixed on the fleet manager's virtual
+// clock, where Step stored `now` through atomic.StoreInt64 while Arrive
+// read it as a plain field. Such a mix is a data race the -race
+// detector only catches when the interleaving actually happens; the
+// type system is silent because both spellings are legal.
+//
+// The analyzer is package-wide: every `atomic.XxxT(&s.field, …)` call
+// marks the field atomic, and every other selector access of that field
+// is then a finding. Composite-literal initialization is exempt
+// (construction precedes publication); a genuinely safe plain access —
+// e.g. under a lock that excludes every atomic writer — needs an
+// explicit `//lint:allow atomicmix -- <reason>`, or better, the field
+// migrated to an atomic.Int64-style typed atomic that makes plain
+// access unrepresentable.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed through sync/atomic must never be read or written plainly elsewhere in the package",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	facts := pass.Facts()
+	// Deterministic field order: report by first atomic position.
+	fields := make([]*types.Var, 0, len(facts.AtomicFields))
+	for f := range facts.AtomicFields {
+		if len(facts.PlainFields[f]) > 0 {
+			fields = append(fields, f)
+		}
+	}
+	sort.Slice(fields, func(i, j int) bool {
+		return facts.AtomicFields[fields[i]][0] < facts.AtomicFields[fields[j]][0]
+	})
+	for _, f := range fields {
+		atomicAt := pass.Fset.Position(facts.AtomicFields[f][0])
+		for _, pos := range facts.PlainFields[f] {
+			pass.Reportf(pos, "field %s is accessed atomically (e.g. %s) but plainly here; every access must go through sync/atomic, or the field should become a typed atomic (atomic.Int64 et al.)", f.Name(), atomicAt)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// The fact layer: one type-aware inspection pass per package whose
+// results — per-function summaries of lock acquisitions, atomic vs.
+// plain struct-field accesses, goroutine launches with their join
+// evidence, and //talon:noalloc directives — are shared by the
+// concurrency- and allocation-safety analyzers (lockdiscipline,
+// atomicmix, goroutinescope, noalloc). Each analyzer still walks the
+// syntax it judges, but every type-resolution question ("is this call a
+// mutex Lock?", "which field does this atomic call guard?", "does this
+// goroutine body signal a WaitGroup?") is answered once, here.
+
+// NoAllocDirective is the comment directive that turns the noalloc
+// analyzer on for one function.
+const NoAllocDirective = "//talon:noalloc"
+
+// LockOp is one mutex operation (Lock/Unlock/RLock/RUnlock) on a
+// sync.Mutex or sync.RWMutex receiver.
+type LockOp struct {
+	Call *ast.CallExpr
+	// Path is the canonical rendering of the receiver expression
+	// ("m.stepMu", "sh.mu", "m.shards[i].mu"); two ops with equal paths
+	// are treated as the same mutex by the discipline checks.
+	Path string
+	// Method is Lock, Unlock, RLock or RUnlock.
+	Method string
+}
+
+// Acquires reports whether the op takes the mutex (Lock or RLock).
+func (op LockOp) Acquires() bool { return op.Method == "Lock" || op.Method == "RLock" }
+
+// Release returns the unlock method that pairs with an acquire
+// ("Unlock" for Lock, "RUnlock" for RLock).
+func (op LockOp) Release() string {
+	if op.Method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// GoLaunch is one goroutine launch and the join/scope evidence the fact
+// pass extracted from it.
+type GoLaunch struct {
+	Stmt *ast.GoStmt
+	// Body is the launched func literal's body, nil for `go f(x)` calls
+	// on named functions or methods.
+	Body *ast.BlockStmt
+	// SignalsWaitGroup: the body calls Done on a sync.WaitGroup.
+	SignalsWaitGroup bool
+	// SendsChan: the body sends on or closes a channel.
+	SendsChan bool
+	// CtxAware: the body consults a context.Context (Done/Err/Deadline),
+	// so cancellation scopes the goroutine even without a local join.
+	CtxAware bool
+	// PassesCtx: a non-literal launch forwards a context.Context
+	// argument to the callee.
+	PassesCtx bool
+}
+
+// FuncFacts summarizes one function declaration.
+type FuncFacts struct {
+	Decl *ast.FuncDecl
+	// NoAlloc is the //talon:noalloc directive attached to the
+	// declaration's doc comment, nil when absent.
+	NoAlloc *ast.Comment
+	// Locks lists every mutex op in the declaration's subtree (closures
+	// included) in source order.
+	Locks []LockOp
+	// Launches lists every goroutine launch in the subtree.
+	Launches []GoLaunch
+	// WaitsWaitGroup: the function (outside launched bodies) calls Wait
+	// on a sync.WaitGroup.
+	WaitsWaitGroup bool
+	// ReceivesChan: the function (outside launched bodies) receives from
+	// a channel — a unary <-, a range over a channel, or a select with a
+	// receive case.
+	ReceivesChan bool
+}
+
+// PackageFacts is the shared fact set for one package.
+type PackageFacts struct {
+	// Funcs holds the per-function summaries in declaration order,
+	// indexed by declaration for the analyzers that walk files.
+	Funcs   []*FuncFacts
+	ByDecl  map[*ast.FuncDecl]*FuncFacts
+	LockOps map[*ast.CallExpr]LockOp
+
+	// AtomicFields maps a struct field to the positions where its
+	// address is passed to a sync/atomic function; PlainFields maps a
+	// field to the positions of its other (non-atomic) reads and writes.
+	// Composite-literal keys are excluded from PlainFields:
+	// initialization before publication is the sanctioned pattern.
+	AtomicFields map[*types.Var][]token.Pos
+	PlainFields  map[*types.Var][]token.Pos
+
+	// StrayNoAlloc lists //talon:noalloc comments that are not attached
+	// to a function declaration's doc comment and therefore bind
+	// nothing.
+	StrayNoAlloc []*ast.Comment
+}
+
+// Facts returns the package's shared fact set, computing it on first
+// use and caching it on the Package so the four consumers pay for one
+// inspection pass between them.
+func (p *Pass) Facts() *PackageFacts {
+	if p.pkg.facts == nil {
+		p.pkg.facts = buildFacts(p.TypesInfo, p.Files)
+	}
+	return p.pkg.facts
+}
+
+func buildFacts(info *types.Info, files []*ast.File) *PackageFacts {
+	pf := &PackageFacts{
+		ByDecl:       make(map[*ast.FuncDecl]*FuncFacts),
+		LockOps:      make(map[*ast.CallExpr]LockOp),
+		AtomicFields: make(map[*types.Var][]token.Pos),
+		PlainFields:  make(map[*types.Var][]token.Pos),
+	}
+	for _, file := range files {
+		docComments := make(map[*ast.Comment]bool)
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			ff := &FuncFacts{Decl: fd}
+			if fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					docComments[c] = true
+					if isNoAllocDirective(c.Text) {
+						ff.NoAlloc = c
+					}
+				}
+			}
+			if fd.Body != nil {
+				summarizeBody(info, fd.Body, ff, pf)
+			}
+			pf.Funcs = append(pf.Funcs, ff)
+			pf.ByDecl[fd] = ff
+		}
+		// Directives outside function doc comments bind nothing; surface
+		// them so a misplaced annotation cannot silently disable a check.
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if isNoAllocDirective(c.Text) && !docComments[c] {
+					pf.StrayNoAlloc = append(pf.StrayNoAlloc, c)
+				}
+			}
+		}
+		collectFieldAccesses(info, file, pf)
+	}
+	return pf
+}
+
+func isNoAllocDirective(text string) bool {
+	return text == NoAllocDirective || strings.HasPrefix(text, NoAllocDirective+" ")
+}
+
+// summarizeBody walks one declaration body collecting lock ops,
+// goroutine launches and function-level join evidence. Statements
+// inside launched goroutine bodies contribute to the launch's evidence,
+// not the function's.
+func summarizeBody(info *types.Info, body *ast.BlockStmt, ff *FuncFacts, pf *PackageFacts) {
+	launched := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		launch := GoLaunch{Stmt: gs}
+		if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+			launch.Body = lit.Body
+			launched[lit.Body] = true
+			summarizeGoroutine(info, lit.Body, &launch)
+		} else {
+			for _, arg := range gs.Call.Args {
+				if tv, ok := info.Types[arg]; ok && tv.Type != nil && isContextType(tv.Type) {
+					launch.PassesCtx = true
+				}
+			}
+		}
+		ff.Launches = append(ff.Launches, launch)
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		if launched[n] {
+			return false // goroutine bodies carry their own evidence
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if op, ok := mutexOp(info, node); ok {
+				ff.Locks = append(ff.Locks, op)
+				pf.LockOps[node] = op
+			}
+			if isWaitGroupMethod(info, node, "Wait") {
+				ff.WaitsWaitGroup = true
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.ARROW {
+				ff.ReceivesChan = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[node.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ff.ReceivesChan = true
+				}
+			}
+		}
+		return true
+	})
+	// Lock ops inside goroutine bodies still belong to the package-wide
+	// index (lockdiscipline analyzes closure scopes independently).
+	for i := range ff.Launches {
+		if b := ff.Launches[i].Body; b != nil {
+			ast.Inspect(b, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if op, ok := mutexOp(info, call); ok {
+						ff.Locks = append(ff.Locks, op)
+						pf.LockOps[call] = op
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// summarizeGoroutine extracts join/scope evidence from a launched func
+// literal's body.
+func summarizeGoroutine(info *types.Info, body *ast.BlockStmt, launch *GoLaunch) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			launch.SendsChan = true
+		case *ast.CallExpr:
+			if isWaitGroupMethod(info, node, "Done") {
+				launch.SignalsWaitGroup = true
+			}
+			if isContextMethod(info, node) {
+				launch.CtxAware = true
+			}
+			if fn := calleeFunc(info, node); fn == nil && len(node.Args) == 1 {
+				// close(ch) hands the channel back to a collector.
+				if id, ok := ast.Unparen(node.Fun).(*ast.Ident); ok && id.Name == "close" {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						launch.SendsChan = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp resolves call as a Lock/Unlock/RLock/RUnlock method call on a
+// sync.Mutex or sync.RWMutex receiver.
+func mutexOp(info *types.Info, call *ast.CallExpr) (LockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return LockOp{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil || !isSyncMutex(tv.Type) {
+		return LockOp{}, false
+	}
+	return LockOp{Call: call, Path: exprPath(sel.X), Method: sel.Sel.Name}, true
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// typeHasMutex reports whether t contains a sync.Mutex or sync.RWMutex
+// by value (directly, or in a struct field or array element, at any
+// depth).
+func typeHasMutex(t types.Type) bool {
+	return typeHasMutexRec(t, make(map[types.Type]bool))
+}
+
+func typeHasMutexRec(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if isSyncMutex(t) {
+		if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeHasMutexRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeHasMutexRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// isWaitGroupMethod reports whether call invokes the named method on a
+// sync.WaitGroup receiver.
+func isWaitGroupMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// isContextMethod reports whether call invokes Done, Err or Deadline on
+// a context.Context value.
+func isContextMethod(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Done", "Err", "Deadline":
+	default:
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && tv.Type != nil && isContextType(tv.Type)
+}
+
+// collectFieldAccesses fills AtomicFields and PlainFields for one file.
+// An access is atomic when the field's address is an argument of a
+// sync/atomic package-level call; every other selector use of the field
+// is plain. Composite-literal keys (initialization) are excluded.
+func collectFieldAccesses(info *types.Info, file *ast.File, pf *PackageFacts) {
+	consumed := make(map[*ast.SelectorExpr]bool) // selectors used atomically
+	litKeys := make(map[*ast.Ident]bool)         // composite-literal field keys
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						litKeys[id] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(info, node)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || isMethod(fn) {
+				return true
+			}
+			for _, arg := range node.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if f := selectedField(info, sel); f != nil {
+					pf.AtomicFields[f] = append(pf.AtomicFields[f], sel.Pos())
+					consumed[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || consumed[sel] || litKeys[sel.Sel] {
+			return true
+		}
+		if f := selectedField(info, sel); f != nil {
+			pf.PlainFields[f] = append(pf.PlainFields[f], sel.Pos())
+		}
+		return true
+	})
+}
+
+// selectedField resolves a selector to the struct field it denotes, or
+// nil for methods, package selectors and qualified identifiers.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	if v == nil || !v.IsField() {
+		return nil
+	}
+	return v
+}
+
+// exprPath renders a receiver expression canonically: selector chains
+// keep their spelling ("m.shards[i].mu"), everything else falls back to
+// a positional placeholder so distinct complex expressions never
+// collide.
+func exprPath(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprPath(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprPath(x.X) + "[" + exprPath(x.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprPath(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return "&" + exprPath(x.X)
+		}
+	case *ast.BasicLit:
+		return x.Value
+	case *ast.CallExpr:
+		return exprPath(x.Fun) + "(…)"
+	}
+	return fmt.Sprintf("expr@%d", e.Pos())
+}

@@ -1,0 +1,52 @@
+package analysis
+
+// GoroutineScope requires every goroutine launched in the scoped
+// library packages to be collected or cancellation-scoped by its
+// launching function. The fleet and batch pipelines promise structured
+// concurrency — a Step or a batch call returns only when the work it
+// fanned out has been joined, which is what makes their results
+// deterministic and their error paths sound — and an unjoined `go`
+// breaks that silently (leaked workers keep touching scratch that the
+// next call reuses).
+//
+// A launch is accepted when any of the following holds:
+//
+//   - the goroutine body signals a sync.WaitGroup (Done) and the
+//     launching function waits on one (Wait);
+//   - the body sends on (or closes) a channel and the launching
+//     function receives from one;
+//   - the body consults a context.Context (Done/Err/Deadline), so the
+//     caller's cancellation scopes its lifetime;
+//   - a non-literal launch (`go f(x)`) passes a context.Context to the
+//     callee, or the launching function itself waits/receives.
+//
+// Deliberate fire-and-forget goroutines (process-lifetime servers)
+// carry `//lint:allow goroutinescope -- <reason>`.
+var GoroutineScope = &Analyzer{
+	Name: "goroutinescope",
+	Doc:  "goroutines must be joined (WaitGroup/channel) or ctx-scoped within the launching function",
+	Run:  runGoroutineScope,
+}
+
+func runGoroutineScope(pass *Pass) {
+	facts := pass.Facts()
+	for _, ff := range facts.Funcs {
+		for _, launch := range ff.Launches {
+			if launch.Body == nil {
+				// Named function or method: the body is out of reach, so
+				// accept a forwarded ctx or function-level join evidence.
+				if launch.PassesCtx || ff.WaitsWaitGroup || ff.ReceivesChan {
+					continue
+				}
+				pass.Reportf(launch.Stmt.Pos(), "goroutine is neither joined nor cancellation-scoped: pass the callee a ctx it selects on, or collect it with a WaitGroup or channel in this function")
+				continue
+			}
+			joined := (launch.SignalsWaitGroup && ff.WaitsWaitGroup) ||
+				(launch.SendsChan && ff.ReceivesChan) ||
+				launch.CtxAware
+			if !joined {
+				pass.Reportf(launch.Stmt.Pos(), "goroutine is neither joined nor cancellation-scoped: collect it with a WaitGroup or channel in this function, or select on a ctx in its body")
+			}
+		}
+	}
+}

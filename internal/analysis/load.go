@@ -19,6 +19,20 @@ import (
 	"strings"
 )
 
+// Loader failure modes, distinguishable with errors.Is so callers
+// (talonlint, the fixture harness) can tell a bad invocation from a
+// broken toolchain state.
+var (
+	// ErrNoExportData: a dependency's export data is missing from the
+	// `go list -export` output, so its types cannot be imported.
+	ErrNoExportData = errors.New("no export data")
+	// ErrUnknownPackage: a pattern matched no buildable package.
+	ErrUnknownPackage = errors.New("unknown package")
+	// ErrMalformedList: `go list -json` produced output the loader
+	// cannot decode.
+	ErrMalformedList = errors.New("malformed go list output")
+)
+
 // Package is one loaded, type-checked package ready for analysis.
 type Package struct {
 	ImportPath string
@@ -27,6 +41,8 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+
+	facts *PackageFacts // built lazily by Pass.Facts
 }
 
 // listEntry is the subset of `go list -json` output the loader needs.
@@ -51,6 +67,11 @@ func goList(dir string, args ...string) ([]*listEntry, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go list: %w\n%s", err, stderr.String())
 	}
+	return decodeList(out)
+}
+
+// decodeList decodes the JSON stream `go list -json` writes.
+func decodeList(out []byte) ([]*listEntry, error) {
 	dec := json.NewDecoder(bytes.NewReader(out))
 	var entries []*listEntry
 	for {
@@ -58,7 +79,7 @@ func goList(dir string, args ...string) ([]*listEntry, error) {
 		if err := dec.Decode(e); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %w", err)
+			return nil, fmt.Errorf("go list: %w: %w", ErrMalformedList, err)
 		}
 		entries = append(entries, e)
 	}
@@ -84,7 +105,7 @@ func newExportLookup(entries []*listEntry) *exportLookup {
 func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
 	file, ok := l.exports[path]
 	if !ok {
-		return nil, fmt.Errorf("no export data for %q", path)
+		return nil, fmt.Errorf("%w for %q", ErrNoExportData, path)
 	}
 	return os.Open(file)
 }
@@ -163,7 +184,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var pkgs []*Package
 	fset := token.NewFileSet()
 	for _, e := range entries {
-		if e.Standard || len(e.GoFiles) == 0 {
+		if e.Standard {
+			continue
+		}
+		// `go list -e` reports a pattern that matches nothing as an entry
+		// with Error set and no files — surface it rather than silently
+		// analyzing zero packages.
+		if e.Error != nil && len(e.GoFiles) == 0 {
+			return nil, fmt.Errorf("go list: %w %s: %s", ErrUnknownPackage, e.ImportPath, e.Error.Err)
+		}
+		if len(e.GoFiles) == 0 {
 			continue
 		}
 		if e.Error != nil {

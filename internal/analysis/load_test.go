@@ -1,0 +1,41 @@
+package analysis
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLoadUnknownPackage(t *testing.T) {
+	moduleDir, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(moduleDir, "talon/internal/nosuchpackage")
+	if err == nil {
+		t.Fatal("loading a pattern that matches nothing succeeded")
+	}
+	if !errors.Is(err, ErrUnknownPackage) {
+		t.Errorf("error is not ErrUnknownPackage: %v", err)
+	}
+}
+
+func TestDecodeListMalformed(t *testing.T) {
+	_, err := decodeList([]byte(`{"ImportPath": "x"} this is not json`))
+	if err == nil {
+		t.Fatal("decoding malformed go list output succeeded")
+	}
+	if !errors.Is(err, ErrMalformedList) {
+		t.Errorf("error is not ErrMalformedList: %v", err)
+	}
+}
+
+func TestExportLookupMissing(t *testing.T) {
+	lk := newExportLookup(nil)
+	_, err := lk.lookup("talon/internal/core")
+	if err == nil {
+		t.Fatal("lookup without export data succeeded")
+	}
+	if !errors.Is(err, ErrNoExportData) {
+		t.Errorf("error is not ErrNoExportData: %v", err)
+	}
+}

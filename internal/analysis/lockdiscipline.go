@@ -1,0 +1,275 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LockDiscipline enforces the mutex conventions of the library
+// packages, where every critical section follows one of two shapes —
+// `mu.Lock(); defer mu.Unlock()` or a same-block `mu.Lock()` …
+// `mu.Unlock()` pair (with optional early unlock+continue/return
+// branches, each releasing before it jumps). Checked per function
+// scope (closures are independent scopes):
+//
+//   - an acquire (Lock/RLock) must be released on the same receiver
+//     path in the same statement block, by defer or explicitly;
+//   - a return / break / continue between an acquire and its same-block
+//     release must itself be preceded by a release in its own block
+//     (otherwise the jump leaks the critical section);
+//   - a second Lock on the same receiver path while the first is still
+//     held (no intervening Unlock; a deferred Unlock releases only at
+//     function exit) is a self-deadlock;
+//   - copying a value whose type contains a sync.Mutex/RWMutex
+//     (assignment, or passing by value) detaches the copy's lock state.
+//
+// The checks are block-structured, not a full CFG: acquires released on
+// a different path through a helper, or conditionally in one branch
+// only, need an explicit `//lint:allow lockdiscipline -- <reason>`.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "every mutex acquire pairs with a same-block or deferred release; no double-lock or mutex copies",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) {
+	facts := pass.Facts()
+	for _, ff := range facts.Funcs {
+		if ff.Decl.Body == nil {
+			continue
+		}
+		checkLockScope(pass, facts, ff.Decl.Body)
+	}
+	for _, file := range pass.Files {
+		checkMutexCopies(pass, file)
+	}
+}
+
+// checkLockScope analyzes one function scope's blocks — pairing,
+// leaky jumps and double-lock — and recurses into nested function
+// literals as independent scopes.
+func checkLockScope(pass *Pass, facts *PackageFacts, body *ast.BlockStmt) {
+	nested := collectFuncLits(body)
+	walkBlocks(body, nested, func(list []ast.Stmt) {
+		checkStmtList(pass, facts, list, nested)
+	})
+	checkDoubleLock(pass, facts, body, nested)
+	for lit := range nested {
+		checkLockScope(pass, facts, lit.Body)
+	}
+}
+
+// collectFuncLits returns the function literals directly inside body,
+// excluding literals nested inside other literals (those are collected
+// when their parent scope is analyzed).
+func collectFuncLits(body *ast.BlockStmt) map[*ast.FuncLit]bool {
+	lits := make(map[*ast.FuncLit]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			lits[lit] = true
+			return false
+		}
+		return true
+	})
+	return lits
+}
+
+// walkBlocks applies fn to every statement list in body, skipping the
+// bodies of the given nested function literals.
+func walkBlocks(body *ast.BlockStmt, skip map[*ast.FuncLit]bool, fn func([]ast.Stmt)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			if skip[node] {
+				return false
+			}
+		case *ast.BlockStmt:
+			fn(node.List)
+		case *ast.CommClause:
+			fn(node.Body)
+		case *ast.CaseClause:
+			fn(node.Body)
+		}
+		return true
+	})
+}
+
+// checkStmtList runs the pairing and leaky-jump checks over one
+// statement list.
+func checkStmtList(pass *Pass, facts *PackageFacts, list []ast.Stmt, skip map[*ast.FuncLit]bool) {
+	for i, stmt := range list {
+		op, ok := stmtLockOp(facts, stmt)
+		if !ok || !op.Acquires() {
+			continue
+		}
+		release := op.Release()
+		deferred, explicitAt := false, -1
+		for j := i + 1; j < len(list); j++ {
+			if ds, ok := list[j].(*ast.DeferStmt); ok {
+				if dop, ok := facts.LockOps[ds.Call]; ok && dop.Path == op.Path && dop.Method == release {
+					deferred = true
+					break
+				}
+			}
+			if rop, ok := stmtLockOp(facts, list[j]); ok && rop.Path == op.Path && rop.Method == release {
+				explicitAt = j // keep scanning: the last release bounds the section
+			}
+		}
+		switch {
+		case deferred:
+			// `Lock(); defer Unlock()` covers every path out.
+		case explicitAt < 0:
+			pass.Reportf(op.Call.Pos(), "%s.%s() has no matching %s on this path; release with `defer %s.%s()` or in the same block", op.Path, op.Method, release, op.Path, release)
+		default:
+			reportLeakyJumps(pass, facts, list[i+1:explicitAt], op, skip)
+		}
+	}
+}
+
+// stmtLockOp resolves a statement to the mutex op it consists of, when
+// it is a bare `path.Lock()`-style expression statement.
+func stmtLockOp(facts *PackageFacts, stmt ast.Stmt) (LockOp, bool) {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return LockOp{}, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return LockOp{}, false
+	}
+	op, ok := facts.LockOps[call]
+	return op, ok
+}
+
+// reportLeakyJumps scans the statements between an acquire and its
+// same-block release for return/break/continue jumps that exit the
+// critical section without releasing first in their own block.
+func reportLeakyJumps(pass *Pass, facts *PackageFacts, between []ast.Stmt, op LockOp, skip map[*ast.FuncLit]bool) {
+	release := op.Release()
+	for _, stmt := range between {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && skip[lit] {
+				return false
+			}
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			released := false
+			for _, s := range block.List {
+				if rop, ok := stmtLockOp(facts, s); ok && rop.Path == op.Path && rop.Method == release {
+					released = true
+				}
+				switch jump := s.(type) {
+				case *ast.ReturnStmt:
+					if !released {
+						pass.Reportf(jump.Pos(), "return while %s is held by the %s() above; release before returning or use defer", op.Path, op.Method)
+					}
+				case *ast.BranchStmt:
+					if !released && jump.Tok.String() != "goto" && jump.Label == nil {
+						pass.Reportf(jump.Pos(), "%s while %s is held by the %s() above; release before jumping out of the critical section", jump.Tok, op.Path, op.Method)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDoubleLock walks one scope's mutex ops in source order and
+// reports an exclusive Lock on a path that is already held. A deferred
+// Unlock releases only at function exit, so Lock-defer-Unlock-Lock is a
+// self-deadlock too. The scan is linear (branch-insensitive): locks
+// taken in mutually exclusive branches need an allow comment.
+func checkDoubleLock(pass *Pass, facts *PackageFacts, body *ast.BlockStmt, skip map[*ast.FuncLit]bool) {
+	type event struct {
+		op       LockOp
+		deferred bool
+	}
+	var events []event
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			if skip[node] {
+				return false
+			}
+		case *ast.DeferStmt:
+			if op, ok := facts.LockOps[node.Call]; ok {
+				events = append(events, event{op: op, deferred: true})
+				return false
+			}
+		case *ast.CallExpr:
+			if op, ok := facts.LockOps[node]; ok {
+				events = append(events, event{op: op})
+			}
+		}
+		return true
+	})
+	held := make(map[string]LockOp)
+	for _, ev := range events {
+		switch {
+		case ev.op.Method == "Lock" && !ev.deferred:
+			if prev, ok := held[ev.op.Path]; ok {
+				pass.Reportf(ev.op.Call.Pos(), "%s.Lock() while already held by the Lock() at %s; this deadlocks (sync.Mutex is not reentrant)", ev.op.Path, pass.Fset.Position(prev.Call.Pos()))
+				continue
+			}
+			held[ev.op.Path] = ev.op
+		case ev.op.Method == "Unlock" && !ev.deferred:
+			delete(held, ev.op.Path)
+			// A deferred Unlock releases only at scope exit: the path stays
+			// held for the rest of the scan, so a re-acquire is reported.
+		}
+	}
+}
+
+// checkMutexCopies flags assignments and by-value calls that copy a
+// value whose type contains a mutex.
+func checkMutexCopies(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				if copiesMutex(pass.TypesInfo, rhs) {
+					pass.Reportf(rhs.Pos(), "assignment copies %s, which contains a mutex; keep a pointer instead", typeLabel(pass.TypesInfo, rhs))
+				}
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, node); fn == nil {
+				return true // conversions and builtins
+			}
+			for _, arg := range node.Args {
+				if copiesMutex(pass.TypesInfo, arg) {
+					pass.Reportf(arg.Pos(), "call passes %s by value, which copies its mutex; pass a pointer instead", typeLabel(pass.TypesInfo, arg))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// copiesMutex reports whether evaluating e copies an existing
+// mutex-containing value: the expression reads storage (identifier,
+// field, element, dereference) and its type holds a mutex by value.
+// Fresh values (composite literals, calls) and pointers are fine.
+func copiesMutex(info *types.Info, e ast.Expr) bool {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return false
+	}
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil || !tv.IsValue() {
+		return false
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	return typeHasMutex(tv.Type)
+}
+
+func typeLabel(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[ast.Unparen(e)]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "a value"
+}

@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the `//talon:noalloc` directive: a function whose
+// doc comment carries it promises zero steady-state allocations (the
+// static twin of the AllocsPerRun contracts, which are skipped under
+// -race and only observe the inputs the test happens to feed). Inside
+// an annotated function the analyzer flags every construct the
+// compiler may lower to a heap allocation:
+//
+//   - function literals (a capturing closure escapes and allocates);
+//   - calls into fmt (formatting allocates on every call);
+//   - string concatenation;
+//   - map and slice composite literals, &T{} literals, make and new;
+//   - interface boxing — passing, assigning, converting or returning a
+//     concrete value where an interface is expected;
+//   - unhinted append growth: an append whose base slice shows no
+//     reuse evidence in the function (no `s = s[:0]`-style reslice of
+//     the same base), so growth is not visibly amortized.
+//
+// The checks are necessarily conservative — a non-escaping closure or
+// a cold error path may be provably free at runtime — so intentional
+// sites carry `//lint:allow noalloc -- <reason>`; the AllocsPerRun
+// test remains the runtime referee. A directive outside a function's
+// doc comment binds nothing and is itself a finding.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "//talon:noalloc functions must avoid closures, fmt, string concat, map/slice literals, boxing and unhinted appends",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(pass *Pass) {
+	facts := pass.Facts()
+	for _, c := range facts.StrayNoAlloc {
+		pass.Reportf(c.Pos(), "misplaced %s: the directive binds only as part of a function declaration's doc comment", NoAllocDirective)
+	}
+	for _, ff := range facts.Funcs {
+		if ff.NoAlloc == nil || ff.Decl.Body == nil {
+			continue
+		}
+		checkNoAllocBody(pass, ff.Decl)
+	}
+}
+
+func checkNoAllocBody(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	hinted := appendHints(fd.Body)
+	flaggedArgs := make(map[ast.Expr]bool) // args of already-reported calls
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(node.Pos(), "closure inside a %s function; a capturing func literal may allocate per call — hoist it or justify with //lint:allow noalloc", NoAllocDirective)
+			return false // the literal's interior is accounted to the closure
+		case *ast.UnaryExpr:
+			if node.Op == token.AND {
+				if _, isLit := ast.Unparen(node.X).(*ast.CompositeLit); isLit {
+					pass.Reportf(node.Pos(), "&composite literal inside a %s function allocates", NoAllocDirective)
+				}
+			}
+		case *ast.BinaryExpr:
+			checkStringConcat(pass, node)
+		case *ast.CompositeLit:
+			switch info.TypeOf(node).Underlying().(type) {
+			case *types.Map:
+				pass.Reportf(node.Pos(), "map literal inside a %s function allocates", NoAllocDirective)
+			case *types.Slice:
+				pass.Reportf(node.Pos(), "slice literal inside a %s function allocates", NoAllocDirective)
+			}
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, node, hinted, flaggedArgs)
+		case *ast.AssignStmt:
+			if len(node.Lhs) == len(node.Rhs) {
+				for i := range node.Lhs {
+					checkBoxing(pass, info.TypeOf(node.Lhs[i]), node.Rhs[i], flaggedArgs, "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range node.Values {
+				if node.Type != nil {
+					checkBoxing(pass, info.TypeOf(node.Type), v, flaggedArgs, "assignment")
+				}
+			}
+		case *ast.ReturnStmt:
+			checkReturnBoxing(pass, fd, node, flaggedArgs)
+		}
+		return true
+	})
+}
+
+// checkStringConcat flags non-constant string concatenation.
+func checkStringConcat(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.ADD {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[be]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return // not typed, or constant-folded at compile time
+	}
+	if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Info()&types.IsString != 0 {
+		pass.Reportf(be.OpPos, "string concatenation inside a %s function allocates; preformat or use a reused buffer", NoAllocDirective)
+	}
+}
+
+// checkNoAllocCall judges one call: fmt entry points, allocating
+// builtins, unhinted appends, and interface boxing of the arguments.
+func checkNoAllocCall(pass *Pass, call *ast.CallExpr, hinted map[string]bool, flaggedArgs map[ast.Expr]bool) {
+	info := pass.TypesInfo
+	if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "call to fmt.%s inside a %s function; formatting allocates on every call", fn.Name(), NoAllocDirective)
+		for _, arg := range call.Args {
+			flaggedArgs[arg] = true // one finding per site, not one per boxed arg
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make inside a %s function allocates; move it to a setup/grow path or a pooled scratch", NoAllocDirective)
+			case "new":
+				pass.Reportf(call.Pos(), "new inside a %s function allocates", NoAllocDirective)
+			case "append":
+				checkAppendHint(pass, call, hinted)
+			}
+			return
+		}
+	}
+	// Conversions: concrete → interface boxes.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBoxing(pass, tv.Type, call.Args[0], flaggedArgs, "conversion")
+		}
+		return
+	}
+	// Ordinary calls: match arguments against interface parameters.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding an existing slice, no boxing here
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		checkBoxing(pass, pt, arg, flaggedArgs, "argument")
+	}
+}
+
+// checkAppendHint flags appends whose base slice shows no reuse
+// evidence in the function.
+func checkAppendHint(pass *Pass, call *ast.CallExpr, hinted map[string]bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base := ast.Unparen(call.Args[0])
+	if _, ok := base.(*ast.SliceExpr); ok {
+		return // append(s[:0], …): reuse is explicit at the call site
+	}
+	if hinted[exprPath(base)] {
+		return
+	}
+	pass.Reportf(call.Pos(), "unhinted append inside a %s function may grow its backing array; reslice the base (s = s[:0]) to show reuse, pre-size it outside the hot path, or justify with //lint:allow noalloc", NoAllocDirective)
+}
+
+// appendHints collects the canonical paths of slices the function
+// visibly reuses: targets of an assignment (or definition) whose
+// right-hand side is a slice expression, e.g. `s = s[:0]`,
+// `buf := sc.buf[:0]`, `m.pending = m.pending[:n]`.
+func appendHints(body *ast.BlockStmt) map[string]bool {
+	hinted := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			if _, ok := ast.Unparen(as.Rhs[i]).(*ast.SliceExpr); ok {
+				hinted[exprPath(as.Lhs[i])] = true
+			}
+		}
+		return true
+	})
+	return hinted
+}
+
+// checkBoxing reports a concrete value placed where an interface is
+// expected.
+func checkBoxing(pass *Pass, target types.Type, val ast.Expr, flaggedArgs map[ast.Expr]bool, context string) {
+	if target == nil || !types.IsInterface(target) || flaggedArgs[val] {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[val]
+	if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) {
+		return
+	}
+	if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+		return // pointers box without copying; the pointee already lives on the heap
+	}
+	pass.Reportf(val.Pos(), "%s boxes %s into an interface inside a %s function, which may allocate", context, tv.Type, NoAllocDirective)
+}
+
+// checkReturnBoxing applies the boxing check to return values against
+// the function's declared result types.
+func checkReturnBoxing(pass *Pass, fd *ast.FuncDecl, ret *ast.ReturnStmt, flaggedArgs map[ast.Expr]bool) {
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != len(ret.Results) {
+		return // bare return or tuple forwarding
+	}
+	for i, v := range ret.Results {
+		checkBoxing(pass, sig.Results().At(i).Type(), v, flaggedArgs, "return")
+	}
+}

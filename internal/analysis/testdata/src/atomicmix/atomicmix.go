@@ -1,0 +1,52 @@
+// Package atomicmix is the analysistest fixture for the atomicmix
+// analyzer. Manager reproduces the race shape PR 8 fixed on the fleet
+// manager's virtual clock: the stepper stores `now` through
+// atomic.StoreInt64 while a reader loads it as a plain field.
+package atomicmix
+
+import "sync/atomic"
+
+type Manager struct {
+	now  int64
+	hits uint64
+	cold int64
+}
+
+func (m *Manager) Step(epochEnd int64) {
+	atomic.StoreInt64(&m.now, epochEnd)
+	atomic.AddUint64(&m.hits, 1)
+}
+
+// The plain read that races with Step's atomic store.
+func (m *Manager) Arrive() int64 {
+	return m.now // want "field now is accessed atomically .* but plainly here"
+}
+
+// Plain writes are the same mix.
+func (m *Manager) Reset() {
+	m.now = 0 // want "field now is accessed atomically .* but plainly here"
+	atomic.StoreUint64(&m.hits, 0)
+}
+
+// A field accessed atomically everywhere is consistent.
+func (m *Manager) Hits() uint64 {
+	return atomic.LoadUint64(&m.hits)
+}
+
+// A field never touched atomically may be plain everywhere.
+func (m *Manager) Cold() int64 {
+	m.cold++
+	return m.cold
+}
+
+// Composite-literal keys are initialization before publication, not a
+// mixed access.
+func New(start int64) *Manager {
+	return &Manager{now: start}
+}
+
+// A genuinely safe plain access needs an explicit justification.
+func (m *Manager) snapshotLocked() int64 {
+	//lint:allow atomicmix -- caller holds the lock that excludes every atomic writer
+	return m.now
+}

@@ -1,0 +1,100 @@
+// Package goroutinescope is the analysistest fixture for the
+// goroutinescope analyzer.
+package goroutinescope
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	wg sync.WaitGroup
+}
+
+// WaitGroup join: every launched body signals Done and the launcher
+// waits.
+func (w *worker) fanOut(n int) {
+	for i := 0; i < n; i++ {
+		w.wg.Add(1)
+		go func() {
+			defer w.wg.Done()
+		}()
+	}
+	w.wg.Wait()
+}
+
+// Channel collect: the bodies send, the launcher receives them all.
+func collect(vs []int) int {
+	out := make(chan int, len(vs))
+	for _, v := range vs {
+		go func(v int) {
+			out <- v * v
+		}(v)
+	}
+	sum := 0
+	for range vs {
+		sum += <-out
+	}
+	return sum
+}
+
+// Closing the channel counts as handing it back to a collector.
+func generate(vs []int) chan int {
+	out := make(chan int, len(vs))
+	go func() {
+		for _, v := range vs {
+			out <- v
+		}
+		close(out)
+	}()
+	for v := range out {
+		_ = v
+	}
+	return out
+}
+
+// A body that selects on ctx.Done is cancellation-scoped even without
+// a local join.
+func watch(ctx context.Context, tick chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick:
+			}
+		}
+	}()
+}
+
+// Fire-and-forget with no join and no ctx leaks.
+func leak() {
+	go func() {}() // want "neither joined nor cancellation-scoped"
+}
+
+// A named-function launch is opaque: without a forwarded ctx or
+// function-level join evidence it is a finding …
+func (w *worker) spawn() {
+	go w.run() // want "neither joined nor cancellation-scoped"
+}
+
+func (w *worker) run() {}
+
+// … and with a forwarded ctx it is scoped.
+func (w *worker) spawnCtx(ctx context.Context) {
+	go w.runCtx(ctx)
+}
+
+func (w *worker) runCtx(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// Deliberate process-lifetime goroutines carry an allow.
+func serveForever(handle func()) {
+	//lint:allow goroutinescope -- process-lifetime server loop, fire-and-forget by design
+	go func() {
+		for {
+			handle()
+		}
+	}()
+}

@@ -1,0 +1,145 @@
+// Package lockdiscipline is the analysistest fixture for the
+// lockdiscipline analyzer.
+package lockdiscipline
+
+import "sync"
+
+type store struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	n      int
+	closed bool
+}
+
+// The canonical shape: Lock paired with a deferred Unlock.
+func (s *store) incr() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// Same-block explicit pairing is equally fine.
+func (s *store) incrExplicit() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// An acquire with no release on its path leaks the lock.
+func (s *store) leak() {
+	s.mu.Lock() // want "has no matching Unlock on this path"
+	s.n++
+}
+
+// A return between an acquire and its same-block release leaks the
+// critical section.
+func (s *store) earlyReturn() int {
+	s.mu.Lock()
+	if s.closed {
+		return 0 // want "return while s.mu is held"
+	}
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// A continue that jumps out without releasing first is a leak; one that
+// releases in its own block first is the sanctioned early-exit shape.
+func (s *store) drain(items []int) {
+	for range items {
+		s.mu.Lock()
+		if s.closed {
+			continue // want "continue while s.mu is held"
+		}
+		s.n++
+		s.mu.Unlock()
+	}
+	for range items {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// Re-acquiring a held mutex self-deadlocks: sync.Mutex is not
+// reentrant.
+func (s *store) double() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Lock() // want "already held by the Lock"
+	s.n++
+	s.mu.Unlock()
+	s.mu.Unlock()
+}
+
+// A deferred Unlock releases only at function exit, so re-acquiring
+// after it is the same deadlock, and the second acquire has no release
+// of its own either.
+func (s *store) relockAfterDefer() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want "already held by the Lock" "has no matching Unlock"
+}
+
+// Read locks pair with RUnlock, not Unlock.
+func (s *store) read() int {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	return s.n
+}
+
+func (s *store) wrongKind() {
+	s.rw.RLock() // want "has no matching RUnlock"
+	s.n = 0
+	s.rw.Unlock()
+}
+
+// Copying a value that contains a mutex detaches the copy's lock state.
+func snapshot(s *store) store {
+	local := *s // want "copies lockdiscipline.store, which contains a mutex"
+	return local
+}
+
+func readValue(s store) int { return s.n }
+
+func callByValue(s *store) int {
+	return readValue(*s) // want "passes lockdiscipline.store by value"
+}
+
+// A fresh value is construction, not a copy; pointers never copy.
+func fresh() *store {
+	v := store{}
+	return &v
+}
+
+// A closure is its own lock scope: pairing inside it is judged there,
+// and its ops do not bleed into the launcher's double-lock scan.
+func (s *store) inBackground(wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Add(1)
+	//lint:allow goroutinescope -- fixture exercises lockdiscipline only
+	go func() {
+		defer wg.Done()
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}()
+}
+
+// A handoff pattern needs an explicit justification.
+func (s *store) handoff() {
+	//lint:allow lockdiscipline -- lock is released by the consumer after handoff
+	s.mu.Lock()
+}
+
+// A suppression that claims nothing is itself a finding.
+func (s *store) tidy() {
+	//lint:allow lockdiscipline -- nothing here needs suppressing // want "stale //lint:allow lockdiscipline"
+	s.mu.Lock()
+	s.mu.Unlock()
+}

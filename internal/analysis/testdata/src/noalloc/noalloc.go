@@ -1,0 +1,112 @@
+// Package noalloc is the analysistest fixture for the noalloc
+// analyzer.
+package noalloc
+
+import "fmt"
+
+type sink struct {
+	buf   []int
+	out   []int
+	state any
+}
+
+// Reslicing the base before appending shows the backing array is
+// reused: the append is hinted and clean.
+//
+//talon:noalloc
+func hot(s *sink, vs []int) {
+	s.buf = s.buf[:0]
+	for _, v := range vs {
+		s.buf = append(s.buf, v)
+	}
+}
+
+// Appending at the call site's own reslice is equally explicit.
+//
+//talon:noalloc
+func hotInline(s *sink, v int) {
+	s.buf = append(s.buf[:0], v)
+}
+
+// An append with no reuse evidence may grow the backing array.
+//
+//talon:noalloc
+func grow(s *sink, v int) {
+	s.out = append(s.out, v) // want "unhinted append"
+}
+
+//talon:noalloc
+func closures(vs []int) int {
+	f := func() int { return len(vs) } // want "closure inside"
+	return f()
+}
+
+//talon:noalloc
+func format(err error) string {
+	return fmt.Sprintf("failed: %v", err) // want "call to fmt.Sprintf"
+}
+
+//talon:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//talon:noalloc
+func literals() int {
+	m := map[string]int{"a": 1} // want "map literal"
+	v := []int{1, 2, 3}         // want "slice literal"
+	return m["a"] + v[0]
+}
+
+//talon:noalloc
+func fresh() *sink {
+	return &sink{} // want "&composite literal"
+}
+
+//talon:noalloc
+func makes(n int) []int {
+	return make([]int, n) // want "make inside"
+}
+
+//talon:noalloc
+func boxAssign(s *sink, v int) {
+	s.state = v // want "assignment boxes int"
+}
+
+//talon:noalloc
+func boxArg(v int) {
+	consume(v) // want "argument boxes int"
+}
+
+func consume(x any) { _ = x }
+
+//talon:noalloc
+func boxReturn(v int) any {
+	return v // want "return boxes int"
+}
+
+// Interfaces passed through, and pointers, do not box a copy.
+//
+//talon:noalloc
+func passThrough(s *sink, x any) {
+	s.state = x
+	consume(s)
+}
+
+// Unannotated functions may allocate freely.
+func cold(a, b string) string {
+	return a + b + fmt.Sprint(len(a))
+}
+
+// A justified allocation on a cold path carries an allow.
+//
+//talon:noalloc
+func allowed(err error) string {
+	//lint:allow noalloc -- cold error path, formatting is acceptable
+	return fmt.Sprintf("failed: %v", err)
+}
+
+// The directive binds only to a function declaration's doc comment.
+//
+//talon:noalloc // want "misplaced //talon:noalloc"
+var budget = 64

@@ -96,6 +96,7 @@ func (e *Estimator) selectBatchQuant(ctx context.Context, batch [][]Probe, out [
 // quantChunk runs one contiguous chunk: gather and quantize every item,
 // sweep the coarse dictionary tiles once for the whole chunk, then
 // refine and finish each item.
+//talon:noalloc
 func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []BatchResult) error {
 	en := e.en
 	n := len(batch)
@@ -115,6 +116,7 @@ func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []Batch
 		it.kept, it.err, it.done = 0, nil, false
 		it.reported = e.gatherQuantInto(&it.g, batch[i])
 		if it.reported < 2 {
+			//lint:allow noalloc -- cold error path; the steady state skips the formatting branch
 			it.err = fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, it.reported)
 			it.done = true
 			continue
@@ -172,6 +174,7 @@ func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []Batch
 		}
 		if bestW <= 0 {
 			metDegenerate.Inc()
+			//lint:allow noalloc -- cold error path; the steady state skips the formatting branch
 			degErr := fmt.Errorf("core: %w", ErrDegenerateSurface)
 			sel, serr := e.finishSelection(batch[i], AoAEstimate{}, degErr)
 			out[i] = BatchResult{Selection: sel, Err: serr}

@@ -34,6 +34,7 @@ import (
 //
 // Step serializes against itself but is safe alongside concurrent
 // Arrive/Depart/Dispatch calls.
+//talon:noalloc
 func (m *Manager) Step(ctx context.Context) error {
 	m.stepMu.Lock()
 	defer m.stepMu.Unlock()

@@ -84,6 +84,7 @@ func ServeDebug(addr string) (string, error) {
 		return "", fmt.Errorf("obs: debug listener: %w", err)
 	}
 	srv := &http.Server{Handler: defaultRegistry.DebugHandler()}
+	//lint:allow goroutinescope -- process-lifetime debug server, fire-and-forget by design
 	go srv.Serve(ln) //nolint:errcheck // best-effort background server
 	return ln.Addr().String(), nil
 }
