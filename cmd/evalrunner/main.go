@@ -75,6 +75,7 @@ var (
 	trials       = flag.Int("trials", 0, "campaign trial count (0 = default)")
 	split        = flag.Uint64("split", 0, "campaign in/out-of-sample boundary seed (0 = 80% shard boundary)")
 	shardRecords = flag.Int("shard-records", 0, "campaign records per shard file (0 = default)")
+	mapped       = flag.Bool("mmap", false, "replay through memory-mapped shard readers (falls back to buffered reads per file; scorecard is identical either way)")
 
 	faultRates   = flag.String("fault-rates", "0,0.05,0.1,0.2", "faultsweep: comma-separated Gilbert–Elliott loss rates")
 	faultBurst   = flag.Float64("fault-burst", 4, "faultsweep: mean loss-burst length in frames")
@@ -140,6 +141,7 @@ func buildConfig(f eval.Fidelity) (eval.Config, error) {
 		SplitSeed:       *split,
 		RecordsPerShard: *shardRecords,
 		Workers:         eval.Parallelism(),
+		MappedIO:        *mapped,
 	}
 	return cfg, nil
 }

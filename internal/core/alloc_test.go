@@ -56,6 +56,59 @@ func TestEstimateZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestWarmZeroAllocSteadyState guards the warm-start path: a
+// SelectSectorWarm with a live hint — whether the dense window accepts
+// or the margin guard falls back to the full search — must not
+// allocate once the scratch pools are warm.
+func TestWarmZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under the race detector")
+	}
+	set, gain := synthSetup(t)
+	est, err := NewEstimator(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Kernel() != KernelQuantInt16 {
+		t.Fatalf("default options did not build the quantized kernel: %q", est.Kernel())
+	}
+	rng := stats.NewRNG(47)
+	probes := observe(t, gain, sector.TalonTX(), 18, 9, quietModel(), rng)
+	ctx := context.Background()
+	sel, err := est.SelectSector(ctx, probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.AoA.Cell == NoCell {
+		t.Fatal("cold selection produced no warm-start cell")
+	}
+	for _, tc := range []struct {
+		name string
+		hint Cell
+	}{
+		{"hinted", sel.AoA.Cell},
+		{"cold-fallback", NoCell},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 5; i++ {
+				if _, err := est.SelectSectorWarm(ctx, probes, tc.hint); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var warmErr error
+			allocs := testing.AllocsPerRun(100, func() {
+				_, warmErr = est.SelectSectorWarm(ctx, probes, tc.hint)
+			})
+			if warmErr != nil {
+				t.Fatal(warmErr)
+			}
+			if allocs != 0 {
+				t.Fatalf("steady-state SelectSectorWarm allocates %.1f times per call, want 0", allocs)
+			}
+		})
+	}
+}
+
 // TestBatchZeroAllocSteadyState guards the batch-major quantized pass:
 // once the engine's batch scratch pool is warm, a whole
 // SelectSectorBatch performs exactly one allocation — the caller-visible
@@ -81,16 +134,17 @@ func TestBatchZeroAllocSteadyState(t *testing.T) {
 		batch[i] = observe(t, gain, sector.TalonTX(), az, 7, quietModel(), rng)
 	}
 	ctx := context.Background()
+	items := BatchOf(batch)
 	// Warm the batch scratch pool (workers=1 keeps one chunk, so one
 	// pooled scratch serves every run).
 	for i := 0; i < 5; i++ {
-		if _, err := est.SelectSectorBatch(ctx, batch, 1); err != nil {
+		if _, err := est.SelectSectorBatch(ctx, items, 1); err != nil {
 			t.Fatal(err)
 		}
 	}
 	var batchErr error
 	allocs := testing.AllocsPerRun(50, func() {
-		_, batchErr = est.SelectSectorBatch(ctx, batch, 1)
+		_, batchErr = est.SelectSectorBatch(ctx, items, 1)
 	})
 	if batchErr != nil {
 		t.Fatal(batchErr)

@@ -17,6 +17,27 @@ type BatchResult struct {
 	Err       error
 }
 
+// BatchItem is one independent selection of a batch: a probe vector plus
+// an optional warm-start hint (the Cell of the item's previous
+// selection; NoCell runs the full search). Hints follow the same
+// contract as SelectSectorWarm — they can only change cost, never the
+// selection beyond the equivalence budget — and are ignored entirely by
+// the float64 kernel.
+type BatchItem struct {
+	Probes []Probe
+	Hint   Cell
+}
+
+// BatchOf wraps plain probe vectors as hintless batch items, for callers
+// without warm-start state.
+func BatchOf(batch [][]Probe) []BatchItem {
+	items := make([]BatchItem, len(batch))
+	for i, probes := range batch {
+		items[i].Probes = probes
+	}
+	return items
+}
+
 // SelectSectorBatch runs the full CSS pipeline over a batch of
 // independent probe vectors on one persistent worker pool, amortizing
 // the per-call goroutine spawn and scratch churn of calling SelectSector
@@ -25,12 +46,13 @@ type BatchResult struct {
 // goroutine count is exactly the worker count and nested fan-out cannot
 // oversubscribe GOMAXPROCS. workers <= 0 picks GOMAXPROCS; any value is
 // capped at GOMAXPROCS and at the batch size. Per-item results are
-// deterministic and identical to SelectSector at any worker count.
+// deterministic and identical to SelectSector (or, for hinted items,
+// SelectSectorWarm) at any worker count.
 //
 // ctx is observed between items and inside each item's grid search; on
 // cancellation the batch returns ctx.Err() and the results are
 // discarded.
-func (e *Estimator) SelectSectorBatch(ctx context.Context, batch [][]Probe, workers int) ([]BatchResult, error) {
+func (e *Estimator) SelectSectorBatch(ctx context.Context, batch []BatchItem, workers int) ([]BatchResult, error) {
 	n := len(batch)
 	if n == 0 {
 		return nil, nil
@@ -67,7 +89,7 @@ func (e *Estimator) SelectSectorBatch(ctx context.Context, batch [][]Probe, work
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			sel, err := e.selectShards(ctx, batch[i], 1)
+			sel, err := e.selectShards(ctx, batch[i].Probes, 1)
 			out[i] = BatchResult{Selection: sel, Err: err}
 		}
 		return out, nil
@@ -83,7 +105,7 @@ func (e *Estimator) SelectSectorBatch(ctx context.Context, batch [][]Probe, work
 				if i >= n || ctx.Err() != nil {
 					return
 				}
-				sel, err := e.selectShards(ctx, batch[i], 1)
+				sel, err := e.selectShards(ctx, batch[i].Probes, 1)
 				out[i] = BatchResult{Selection: sel, Err: err}
 			}
 		}()

@@ -52,7 +52,7 @@ func TestBatchMatchesSelectSector(t *testing.T) {
 	}
 
 	for _, workers := range []int{0, 1, 3, 64} {
-		got, err := est.SelectSectorBatch(ctx, batch, workers)
+		got, err := est.SelectSectorBatch(ctx, BatchOf(batch), workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -93,7 +93,7 @@ func TestBatchEmptyAndCancelled(t *testing.T) {
 	probes := observe(t, gain, sector.TalonTX(), 10, 6, quietModel(), rng)
 	cancelled, cancel := context.WithCancel(ctx)
 	cancel()
-	res, err := est.SelectSectorBatch(cancelled, [][]Probe{probes}, 0)
+	res, err := est.SelectSectorBatch(cancelled, []BatchItem{{Probes: probes}}, 0)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled batch err = %v, want context.Canceled", err)
 	}

@@ -96,6 +96,14 @@ type Options struct {
 	// should pin the kernel they were recorded with so kernel-default
 	// changes cannot drift them.
 	Kernel Kernel
+	// WarmRadius is the per-axis half-width, in dense grid cells, of the
+	// warm-start scan window (see warm.go). 0 picks DefaultWarmRadius.
+	WarmRadius int
+	// WarmMargin scales the FallbackCorr threshold into the warm-start
+	// acceptance margin: a warm local winner below
+	// WarmMargin × FallbackCorr falls back to the full search. 0 picks
+	// DefaultWarmMargin; negative relaxes the margin to bare positivity.
+	WarmMargin float64
 }
 
 // DefaultFallbackCorr is the default reliability threshold. Joint Eq. 5
@@ -183,6 +191,12 @@ type AoAEstimate struct {
 	Corr float64
 	// Used is the number of probes that carried a measurement.
 	Used int
+	// Cell is the dense grid cell of the argmax, usable as the
+	// warm-start hint of a later estimate (see SelectSectorWarm).
+	// NoCell when the serving kernel does not produce hints (the float64
+	// reference path). Cell is diagnostic state, not part of the wire
+	// format: it is excluded from JSON serialization.
+	Cell Cell
 }
 
 // amp converts a dB reading to linear amplitude (10^(dB/20)). The
@@ -348,7 +362,7 @@ func (e *Estimator) estimate(ctx context.Context, probes []Probe, maxShards int)
 	g := e.gathers.Get().(*gatherScratch)
 	defer e.gathers.Put(g)
 	if e.en != nil && e.en.quant() {
-		return e.estimateQuant(ctx, g, probes)
+		return e.estimateQuantHint(ctx, g, probes, NoCell)
 	}
 	reported := e.gatherInto(g, probes)
 	if reported < 2 {

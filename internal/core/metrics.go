@@ -61,4 +61,10 @@ var (
 		"grid points per L1 dictionary tile of the most recent engine build")
 	metQuantBatchTiles = obs.NewCounter("core_quant_batch_tiles_total",
 		"coarse dictionary tiles swept by the batch-major quantized pass")
+	metWarmHints = obs.NewCounter("core_warm_hints_total",
+		"quantized estimates offered a warm-start hint cell")
+	metWarmHits = obs.NewCounter("core_warm_hits_total",
+		"warm-start estimates served from the local window scan")
+	metWarmFallbacks = obs.NewCounter("core_warm_fallbacks_total",
+		"hinted estimates that failed the warm guards and ran the full search")
 )

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"math"
 
 	"talon/internal/radio"
@@ -664,41 +663,6 @@ func linearizeGather(g *gatherScratch) {
 	}
 }
 
-// estimateQuant is the quantized estimate path, called from estimate()
-// (which owns the metrics prologue and the pooled gather scratch):
-// gather in the dB domain, quantize both vectors, search, refine.
-//talon:noalloc
-func (e *Estimator) estimateQuant(ctx context.Context, g *gatherScratch, probes []Probe) (AoAEstimate, error) {
-	metQuantEstimates.Inc()
-	reported := e.gatherQuantInto(g, probes)
-	if reported < 2 {
-		//lint:allow noalloc -- cold error path; the steady state returns before formatting
-		return AoAEstimate{}, fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, reported)
-	}
-	en := e.en
-	colBuf := en.probeCols(g.ids)
-	defer en.putCols(colBuf)
-	cols := *colBuf
-	quantizeGather(g, cols, en.fullQ)
-	snrOnly := e.opts.SNROnly
-
-	var sc *hierScratch
-	if len(en.coarseQ) > 0 {
-		sc = en.getHierScratch()
-		defer en.putHierScratch(sc)
-	}
-	bestA, bestE, bestW, err := en.searchQuant(ctx, sc, &g.qv, snrOnly)
-	if err != nil {
-		return AoAEstimate{}, err
-	}
-	if bestW <= 0 {
-		metDegenerate.Inc()
-		//lint:allow noalloc -- cold error path; the steady state returns before formatting
-		return AoAEstimate{}, fmt.Errorf("core: %w", ErrDegenerateSurface)
-	}
-	return e.quantEpilogue(g, cols, bestA, bestE, reported), nil
-}
-
 // quantEpilogue turns the quantized search's argmax cell into the final
 // estimate using the float64 dictionary: one Eq. 5 evaluation at the
 // winning cell plus the parabolic refinement around it, O(M) work against
@@ -715,7 +679,7 @@ func (e *Estimator) quantEpilogue(g *gatherScratch, cols []int16, bestA, bestE i
 	linearizeGather(g)
 	numAz := len(en.az)
 	w := en.jointAt((bestE*numAz+bestA)*en.stride, cols, g.snr, g.rssi, snrOnly)
-	aoa := AoAEstimate{Az: en.az[bestA], El: en.el[bestE], Corr: w, Used: reported}
+	aoa := AoAEstimate{Az: en.az[bestA], El: en.el[bestE], Corr: w, Used: reported, Cell: cellOf(bestA, bestE)}
 	if !e.opts.NoRefine {
 		// The closures serve the already-computed centre value instead of
 		// re-deriving it; jointAt is deterministic, so this is only a

@@ -311,7 +311,7 @@ func TestQuantBatchMatchesSelectSector(t *testing.T) {
 		want[i] = BatchResult{Selection: sel, Err: err}
 	}
 	for _, workers := range []int{0, 1, 3, 5, 64} {
-		got, err := est.SelectSectorBatch(ctx, batch, workers)
+		got, err := est.SelectSectorBatch(ctx, BatchOf(batch), workers)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

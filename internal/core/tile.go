@@ -41,8 +41,7 @@ type quantItem struct {
 	sc       *hierScratch
 	reported int
 	kept     int
-	done     bool // selection already decided in phase 1 (gather error)
-	err      error
+	done     bool // result already written in phase 1 (gather error or warm hit)
 }
 
 // quantBatchScratch holds one worker chunk's items; pooled on the engine
@@ -71,7 +70,7 @@ func (en *engine) putBatchScratch(bs *quantBatchScratch) { en.batchScratch.Put(b
 // split only affects which items share a dictionary sweep, never any
 // item's result. Returns non-nil only on context cancellation, in which
 // case out is discarded by the caller.
-func (e *Estimator) selectBatchQuant(ctx context.Context, batch [][]Probe, out []BatchResult, workers int) error {
+func (e *Estimator) selectBatchQuant(ctx context.Context, batch []BatchItem, out []BatchResult, workers int) error {
 	n := len(batch)
 	if workers <= 1 {
 		return e.quantChunk(ctx, batch, out)
@@ -94,30 +93,37 @@ func (e *Estimator) selectBatchQuant(ctx context.Context, batch [][]Probe, out [
 }
 
 // quantChunk runs one contiguous chunk: gather and quantize every item,
-// sweep the coarse dictionary tiles once for the whole chunk, then
-// refine and finish each item.
+// resolve warm-hinted items from their local windows, sweep the coarse
+// dictionary tiles once for the remainder of the chunk, then refine and
+// finish each remaining item.
 //talon:noalloc
-func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []BatchResult) error {
+func (e *Estimator) quantChunk(ctx context.Context, batch []BatchItem, out []BatchResult) error {
 	en := e.en
 	n := len(batch)
 	snrOnly := e.opts.SNROnly
+	warmRadius, warmThresh := e.opts.warmRadius(), e.warmThreshold()
 	bs := en.getBatchScratch()
 	defer en.putBatchScratch(bs)
 	bs.grow(n, en.topK)
 	items := bs.items[:n]
 
-	// Phase 1: gather + quantize each item's probe vector.
+	// Phase 1: gather + quantize each item's probe vector. Items that
+	// fail the gather — and hinted items whose local window passes the
+	// warm guards (see warm.go) — are finished here and skip the shared
+	// sweep entirely.
 	live := 0
 	for i := range items {
 		it := &items[i]
 		metSelectEngine.Inc()
 		metEstimates.Inc()
 		metQuantEstimates.Inc()
-		it.kept, it.err, it.done = 0, nil, false
-		it.reported = e.gatherQuantInto(&it.g, batch[i])
+		it.kept, it.done = 0, false
+		it.reported = e.gatherQuantInto(&it.g, batch[i].Probes)
 		if it.reported < 2 {
 			//lint:allow noalloc -- cold error path; the steady state skips the formatting branch
-			it.err = fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, it.reported)
+			gatherErr := fmt.Errorf("core: %w: need at least 2 reported probes, have %d", ErrTooFewProbes, it.reported)
+			sel, serr := e.finishSelection(batch[i].Probes, AoAEstimate{}, gatherErr)
+			out[i] = BatchResult{Selection: sel, Err: serr}
 			it.done = true
 			continue
 		}
@@ -126,6 +132,18 @@ func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []Batch
 			it.cols = append(it.cols, en.cols[id])
 		}
 		quantizeGather(&it.g, it.cols, en.fullQ)
+		if hint := batch[i].Hint; hint != NoCell {
+			metWarmHints.Inc()
+			if bestA, bestE, _, ok := en.warmArgmaxQ(&it.g.qv, hint, snrOnly, warmRadius, warmThresh); ok {
+				metWarmHits.Inc()
+				aoa := e.quantEpilogue(&it.g, it.cols, bestA, bestE, it.reported)
+				sel, serr := e.finishSelection(batch[i].Probes, aoa, nil)
+				out[i] = BatchResult{Selection: sel, Err: serr}
+				it.done = true
+				continue
+			}
+			metWarmFallbacks.Inc()
+		}
 		live++
 	}
 
@@ -150,12 +168,10 @@ func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []Batch
 	}
 
 	// Phase 3: per-item dense refinement (or exhaustive fallback) and
-	// sector selection.
+	// sector selection. Items finished in phase 1 already wrote out[i].
 	for i := range items {
 		it := &items[i]
 		if it.done {
-			sel, err := e.finishSelection(batch[i], AoAEstimate{}, it.err)
-			out[i] = BatchResult{Selection: sel, Err: err}
 			continue
 		}
 		var bestA, bestE int
@@ -176,12 +192,12 @@ func (e *Estimator) quantChunk(ctx context.Context, batch [][]Probe, out []Batch
 			metDegenerate.Inc()
 			//lint:allow noalloc -- cold error path; the steady state skips the formatting branch
 			degErr := fmt.Errorf("core: %w", ErrDegenerateSurface)
-			sel, serr := e.finishSelection(batch[i], AoAEstimate{}, degErr)
+			sel, serr := e.finishSelection(batch[i].Probes, AoAEstimate{}, degErr)
 			out[i] = BatchResult{Selection: sel, Err: serr}
 			continue
 		}
 		aoa := e.quantEpilogue(&it.g, it.cols, bestA, bestE, it.reported)
-		sel, serr := e.finishSelection(batch[i], aoa, nil)
+		sel, serr := e.finishSelection(batch[i].Probes, aoa, nil)
 		out[i] = BatchResult{Selection: sel, Err: serr}
 	}
 	return nil

@@ -61,6 +61,11 @@ type CampaignConfig struct {
 	// scorecard JSON — the artifact must be byte-identical at any
 	// worker count.
 	Workers int `json:"-"`
+	// MappedIO replays through memory-mapped shard readers
+	// (tracestore.ReplayShardsMapped). Like Workers it only shapes
+	// execution — the records, and so the scorecard bytes, are
+	// identical on either read path — so it too stays out of the JSON.
+	MappedIO bool `json:"-"`
 }
 
 func (c *CampaignConfig) defaults() {
@@ -174,7 +179,7 @@ func RecordCampaign(ctx context.Context, p *Platform, cfg CampaignConfig) ([]tra
 	// whole campaign in memory.
 	const batchTrials = 4096
 	pending := make([]tracestore.Trial, 0, batchTrials)
-	probesList := make([][]core.Probe, 0, batchTrials)
+	probesList := make([]core.BatchItem, 0, batchTrials)
 
 	flush := func() error {
 		if len(pending) == 0 {
@@ -250,7 +255,7 @@ func RecordCampaign(ctx context.Context, p *Platform, cfg CampaignConfig) ([]tra
 			})
 		}
 		pending = append(pending, rec)
-		probesList = append(probesList, probes)
+		probesList = append(probesList, core.BatchItem{Probes: probes})
 		if len(pending) == batchTrials {
 			if err := flush(); err != nil {
 				return nil, err
@@ -299,7 +304,7 @@ type campaignTally struct {
 	trials, failures, fallbacks, drift, probesLost int64
 	loss, azErr                                    stats.IntHist
 
-	probesList [][]core.Probe
+	probesList []core.BatchItem
 	probesBuf  []core.Probe
 }
 
@@ -463,7 +468,11 @@ func ReplayCampaign(ctx context.Context, p *Platform, cfg CampaignConfig) (*Camp
 		partials[i] = newCampaignTally()
 	}
 
-	err = tracestore.ReplayShards(ctx, codec, shards, cfg.Workers, func(shard int, recs []tracestore.Trial) error {
+	replay := tracestore.ReplayShards[tracestore.Trial]
+	if cfg.MappedIO {
+		replay = tracestore.ReplayShardsMapped[tracestore.Trial]
+	}
+	err = replay(ctx, codec, shards, cfg.Workers, func(shard int, recs []tracestore.Trial) error {
 		t := &partials[shard]
 		// Rebuild the probe vectors into the tally's reusable arena.
 		need := 0
@@ -487,7 +496,7 @@ func ReplayCampaign(ctx context.Context, p *Platform, cfg CampaignConfig) (*Camp
 					OK:     ps.OK,
 				})
 			}
-			t.probesList = append(t.probesList, buf[start:len(buf):len(buf)])
+			t.probesList = append(t.probesList, core.BatchItem{Probes: buf[start:len(buf):len(buf)]})
 		}
 		t.probesBuf = buf[:0]
 

@@ -118,9 +118,9 @@ func EvaluateTraces(ctx context.Context, envName string, traces []testbed.Trace,
 	// campaign's probe vectors instead of per-call fan-out, with engine
 	// sharding disabled inside each item so trial workers are the only
 	// parallelism.
-	probesList := make([][]core.Probe, len(jobs))
+	probesList := make([]core.BatchItem, len(jobs))
 	for i := range jobs {
-		probesList[i] = jobs[i].probes
+		probesList[i].Probes = jobs[i].probes
 	}
 	results, err := est.SelectSectorBatch(ctx, probesList, Parallelism())
 	if err != nil {

@@ -11,6 +11,13 @@
 // the firmware defect model of internal/radio applied probe by probe.
 // Everything is driven by virtual time in fixed epochs, so a fixed seed
 // reproduces the same fleet byte for byte at any shard or worker count.
+//
+// Station state is stored structure-of-arrays per shard: the per-epoch
+// scan walks a dense slice of 24-byte hot records (state, deadline, last
+// grid cell, sample residue, impairment flags) and touches the cold
+// ~130-byte station records only when something actually happens to a
+// link — so the steady-state epoch cost is one cache line per ~2.6
+// tracked stations instead of a map walk over full records.
 package fleet
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +34,7 @@ import (
 	"talon/internal/pattern"
 	"talon/internal/radio"
 	"talon/internal/sector"
+	"talon/internal/stats"
 )
 
 // config is Manager's tunable surface, set through Options.
@@ -43,6 +52,7 @@ type config struct {
 	queueDepth       int
 	lossSampleStride uint64
 	refSNRDB         float64
+	warmStart        bool
 }
 
 // Option configures a Manager.
@@ -99,7 +109,9 @@ func WithMaxBatch(n int) Option { return func(c *config) { c.maxBatch = n } }
 func WithQueueDepth(n int) Option { return func(c *config) { c.queueDepth = n } }
 
 // WithLossSampleStride records the tracking SNR loss of one in n
-// (station, epoch) pairs instead of all of them. Default 16.
+// (station, epoch) pairs instead of all of them. Default 16. The stride
+// must fit in 32 bits — the scan keeps each station's sample residue as
+// a packed uint32.
 func WithLossSampleStride(n int) Option {
 	return func(c *config) { c.lossSampleStride = uint64(n) }
 }
@@ -108,6 +120,15 @@ func WithLossSampleStride(n int) Option {
 // station at the reference distance sees on a mean-peak-gain sector.
 // Default 8dB.
 func WithRefSNR(db float64) Option { return func(c *config) { c.refSNRDB = db } }
+
+// WithWarmStart toggles warm-start re-estimation: when on (the default),
+// every training round carries the station's previous selection cell as
+// a core.BatchItem hint, letting the quantized kernel score only the
+// local window around it (falling back to the full search whenever the
+// correlation-margin guard rejects the local winner). Hints never change
+// a float64-kernel selection; on the quantized kernel they stay within
+// the warm/cold equivalence budget (see core's warm-start contract).
+func WithWarmStart(on bool) Option { return func(c *config) { c.warmStart = on } }
 
 func defaultConfig() config {
 	return config{
@@ -124,15 +145,61 @@ func defaultConfig() config {
 		queueDepth:       1024,
 		lossSampleStride: 16,
 		refSNRDB:         8,
+		warmStart:        true,
 	}
 }
 
-// shard owns one slice of the station population: a mutex-guarded map
-// plus a bounded event queue drained at the start of each Step.
+// Per-station impairment flags on the hot record. The epoch scan's fast
+// path requires flags == 0: no mobility drift, no active blockage and a
+// valid (non-NaN) cached serving gain — exactly the conditions under
+// which the degrade check provably cannot fire between trainings.
+const (
+	// flagDrift marks a nonzero mobility drift rate.
+	flagDrift uint8 = 1 << iota
+	// flagBlocked marks an active blockage (blockEpochsLeft > 0).
+	flagBlocked
+	// flagRecheck marks a serving gain that cached to NaN (the station
+	// sits off the measured pattern grid); the slow path re-runs the
+	// degrade check, which treats NaN as degraded.
+	flagRecheck
+)
+
+// hotStation is the 24-byte per-station record the per-epoch scan walks.
+// It carries exactly the fields the steady-state scan reads — lifecycle
+// state, the one deadline that can fire (retrain staleness while
+// tracking, backoff expiry while degraded), the loss-sample residue and
+// the warm-start hint cell — so a shard scan streams a dense slice
+// instead of chasing full station records through a map.
+type hotStation struct {
+	// deadline is the next scheduled scan action: while tracking, the
+	// staleness retrain (last training end + retrain interval); while
+	// degraded, the backoff expiry.
+	deadline time.Duration
+	// cell is the station's last selection's dense-grid cell, fed back
+	// as the next round's warm-start hint (core.NoCell after a failure
+	// or before the first selection).
+	cell core.Cell
+	// sampleRes caches id % lossSampleStride so the per-epoch sampling
+	// test is one uint32 compare against a per-epoch constant.
+	sampleRes uint32
+	state     State
+	flags     uint8
+}
+
+// shard owns one slice of the station population, stored
+// structure-of-arrays: recs (cold full records) and hot (scan-hot
+// records) are parallel slot-indexed slices, index maps station IDs to
+// slots, free recycles departed slots, and order lists live slots in
+// ascending station-ID order so every scan visits stations
+// deterministically without sorting.
 type shard struct {
-	mu       sync.Mutex
-	stations map[StationID]*station
-	queue    chan Event
+	mu    sync.Mutex
+	index map[StationID]int32
+	recs  []station
+	hot   []hotStation
+	free  []int32
+	order []int32
+	queue chan Event
 
 	// reqs and partial are the shard's per-Step scratch, written only by
 	// the one scan worker that owns the shard during that Step.
@@ -158,10 +225,20 @@ type Manager struct {
 	patterns *pattern.Set
 	model    radio.MeasurementModel
 	txIDs    []sector.ID
+	// pats and txPats are pointer arrays resolved from patterns at
+	// construction: pats is indexed by sector ID, txPats parallels
+	// txIDs. The serve and scan hot paths hit these instead of the
+	// pattern set's map.
+	pats   [256]*pattern.Pattern
+	txPats []*pattern.Pattern
 	// gainRef is the codebook's mean peak gain; trueSNR normalizes
 	// pattern gains by it so refSNRDB means "an average sector, on
 	// boresight, at the reference distance".
 	gainRef float64
+	// fastScan gates the tracked-station fast path; a negative degrade
+	// threshold (degrade-always) forces every station through the full
+	// check.
+	fastScan bool
 
 	shards []*shard
 	mask   uint64
@@ -176,9 +253,15 @@ type Manager struct {
 	pending []request
 	acc     tally
 
-	// probe arena reused across Steps: one flat backing array sliced
-	// into per-round probe vectors.
-	arena []core.Probe
+	// Per-Step serve scratch reused across epochs (all guarded by
+	// stepMu): the probe arena sliced into per-round vectors, the batch
+	// item and live-index buffers, one reseedable round RNG and the
+	// probe-subset sample scratch.
+	arena     []core.Probe
+	items     []core.BatchItem
+	live      []int32
+	roundRNG  *stats.RNG
+	sampleIdx []int
 }
 
 // New builds a fleet manager over the given estimator and its pattern
@@ -205,6 +288,9 @@ func New(est *core.Estimator, patterns *pattern.Set, opts ...Option) (*Manager, 
 	if cfg.lossSampleStride == 0 {
 		cfg.lossSampleStride = 1
 	}
+	if cfg.lossSampleStride > math.MaxUint32 {
+		return nil, fmt.Errorf("fleet: loss sample stride %d exceeds 32 bits", cfg.lossSampleStride)
+	}
 	if cfg.maxBatch <= 0 {
 		cfg.maxBatch = 65536
 	}
@@ -222,19 +308,25 @@ func New(est *core.Estimator, patterns *pattern.Set, opts ...Option) (*Manager, 
 		patterns: patterns,
 		model:    radio.DefaultMeasurementModel(),
 		txIDs:    txIDs,
+		txPats:   make([]*pattern.Pattern, len(txIDs)),
+		fastScan: cfg.degradeDropDB >= 0,
 		shards:   make([]*shard, cfg.shards),
 		mask:     uint64(cfg.shards - 1),
+		roundRNG: stats.NewFastRNG(0),
 	}
 	var sum float64
-	for _, id := range txIDs {
-		_, _, peak := patterns.Get(id).Peak()
+	for i, id := range txIDs {
+		p := patterns.Get(id)
+		m.pats[id] = p
+		m.txPats[i] = p
+		_, _, peak := p.Peak()
 		sum += peak
 	}
 	m.gainRef = sum / float64(len(txIDs))
 	for i := range m.shards {
 		m.shards[i] = &shard{
-			stations: make(map[StationID]*station),
-			queue:    make(chan Event, cfg.queueDepth),
+			index: make(map[StationID]int32),
+			queue: make(chan Event, cfg.queueDepth),
 		}
 	}
 	m.acc.init()
@@ -254,12 +346,15 @@ func ceilPow2(n int) int {
 
 func (m *Manager) shardOf(id StationID) *shard { return m.shards[uint64(id)&m.mask] }
 
+// pat resolves a sector's pattern without the set's map lookup.
+func (m *Manager) pat(id sector.ID) *pattern.Pattern { return m.pats[id] }
+
 // Len returns the current station count across all shards.
 func (m *Manager) Len() int {
 	n := 0
 	for _, sh := range m.shards {
 		sh.mu.Lock()
-		n += len(sh.stations)
+		n += len(sh.index)
 		sh.mu.Unlock()
 	}
 	return n
@@ -278,21 +373,68 @@ func (m *Manager) Arrive(ev Event) bool {
 }
 
 func (m *Manager) arriveLocked(sh *shard, ev Event) bool {
-	if _, ok := sh.stations[ev.Station]; ok {
+	if _, ok := sh.index[ev.Station]; ok {
 		return false
 	}
-	sh.stations[ev.Station] = &station{
+	var slot int32
+	if n := len(sh.free); n > 0 {
+		slot = sh.free[n-1]
+		sh.free = sh.free[:n-1]
+	} else {
+		slot = int32(len(sh.recs))
+		sh.recs = append(sh.recs, station{})
+		sh.hot = append(sh.hot, hotStation{})
+	}
+	dist := ev.DistM
+	sh.recs[slot] = station{
 		id:             ev.Station,
-		state:          StateIdle,
 		az:             wrapAz(ev.AzDeg),
 		el:             ev.ElDeg,
-		dist:           ev.DistM,
+		dist:           dist,
+		pathlossDB:     20 * math.Log10(dist/refDistM),
 		driftDegPerSec: ev.DriftDegPerSec,
 		arrivedAt:      time.Duration(m.now.Load()),
 	}
+	var flags uint8
+	if ev.DriftDegPerSec != 0 {
+		flags |= flagDrift
+	}
+	sh.hot[slot] = hotStation{
+		state:     StateIdle,
+		cell:      core.NoCell,
+		sampleRes: uint32(uint64(ev.Station) % m.cfg.lossSampleStride),
+		flags:     flags,
+	}
+	sh.index[ev.Station] = slot
+	sh.orderInsert(slot, ev.Station)
 	metArrivals.Inc()
 	metStations.Add(1)
 	return true
+}
+
+// orderInsert places slot into the ascending-ID scan order. Arrivals in
+// ID order (the simulator's monotonic IDs) append in O(1); out-of-order
+// IDs pay one binary search plus a copy.
+func (sh *shard) orderInsert(slot int32, id StationID) {
+	n := len(sh.order)
+	if n == 0 || sh.recs[sh.order[n-1]].id < id {
+		sh.order = append(sh.order, slot)
+		return
+	}
+	i := sort.Search(n, func(k int) bool { return sh.recs[sh.order[k]].id > id })
+	sh.order = append(sh.order, 0)
+	copy(sh.order[i+1:], sh.order[i:])
+	sh.order[i] = slot
+}
+
+// orderRemove drops the slot holding id from the scan order.
+func (sh *shard) orderRemove(id StationID) {
+	n := len(sh.order)
+	i := sort.Search(n, func(k int) bool { return sh.recs[sh.order[k]].id >= id })
+	if i < n && sh.recs[sh.order[i]].id == id {
+		copy(sh.order[i:], sh.order[i+1:])
+		sh.order = sh.order[:n-1]
+	}
 }
 
 // Depart removes a station synchronously. It returns false if the
@@ -306,14 +448,18 @@ func (m *Manager) Depart(id StationID) bool {
 }
 
 func (m *Manager) departLocked(sh *shard, id StationID) bool {
-	st, ok := sh.stations[id]
+	slot, ok := sh.index[id]
 	if !ok {
 		return false
 	}
-	if inFlight(st.state) {
+	if inFlight(sh.hot[slot].state) {
 		metPending.Add(-1)
 	}
-	delete(sh.stations, id)
+	sh.orderRemove(id)
+	delete(sh.index, id)
+	sh.recs[slot] = station{}
+	sh.hot[slot] = hotStation{}
+	sh.free = append(sh.free, slot)
 	metDepartures.Inc()
 	metStations.Add(-1)
 	return true
@@ -337,20 +483,21 @@ func (m *Manager) Snapshot(id StationID) (Snapshot, bool) {
 	sh := m.shardOf(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	st, ok := sh.stations[id]
+	slot, ok := sh.index[id]
 	if !ok {
 		return Snapshot{}, false
 	}
+	st, h := &sh.recs[slot], &sh.hot[slot]
 	return Snapshot{
 		ID:       st.id,
-		State:    st.state,
+		State:    h.state,
 		Sector:   st.sector,
 		HasLink:  st.haveSector,
 		AzDeg:    st.az,
 		ElDeg:    st.el,
 		DistM:    st.dist,
 		Rounds:   st.round,
-		Degraded: st.state == StateDegraded,
+		Degraded: h.state == StateDegraded,
 	}, true
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fleet
+
+// raceEnabled reports whether this test binary runs under the race
+// detector (which instruments allocations and skews AllocsPerRun).
+const raceEnabled = false

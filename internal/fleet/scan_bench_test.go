@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkStepScan times the steady-state epoch scan in isolation: the
+// whole fleet is tracking, the retrain interval is pushed past the
+// horizon, and churn is off, so a Step is exactly one pass over the hot
+// per-shard station slices plus the tally merge — the cost that bounds
+// how many stations one core can carry per epoch. The reported
+// ns/station × 1e6 is the projected single-core epoch scan at the
+// 1M-station north star.
+func BenchmarkStepScan(b *testing.B) {
+	for _, n := range []int{16384, 131072} {
+		b.Run(fmt.Sprintf("stations=%d", n), func(b *testing.B) {
+			m, _ := testFleet(b,
+				WithShards(256),
+				WithSeed(5),
+				WithBatchWorkers(1),
+				WithRetrainInterval(24*time.Hour),
+			)
+			ctx := context.Background()
+			for i := 0; i < n; i++ {
+				az := -70 + 140*float64(i)/float64(n)
+				if !m.Arrive(Event{Kind: EventArrival, Station: StationID(i), AzDeg: az, ElDeg: 10, DistM: 3}) {
+					b.Fatalf("arrival %d rejected", i)
+				}
+			}
+			// Drain the initial training wave so the timed steps carry
+			// zero training rounds.
+			for i := 0; i < 3; i++ {
+				if err := m.Step(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Step(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/station")
+		})
+	}
+}

@@ -6,29 +6,43 @@ import (
 
 	"talon/internal/core"
 	"talon/internal/sector"
-	"talon/internal/stats"
 )
 
-// station is the per-link state a shard holds. The struct is deliberately
+// station is the cold per-link record a shard holds; the scan-hot fields
+// (state, deadline, warm-start cell, sample residue, impairment flags)
+// live in the parallel hotStation slice. The struct is deliberately
 // small (no retained RNG state, no per-station goroutines) so a million
 // stations stay within a couple hundred megabytes; all randomness is
 // re-derived per training round from (manager seed, station ID, round).
 type station struct {
-	id    StationID
-	state State
+	id StationID
 
 	// Geometry in the AP's pattern frame.
 	az, el, dist float64
+	// pathlossDB caches 20·log10(dist/refDistM); dist is fixed at
+	// arrival, so the per-probe link budget never recomputes the log.
+	pathlossDB float64
 	// driftDegPerSec moves az every epoch (mobility).
 	driftDegPerSec float64
 
 	// Current selection.
 	sector     sector.ID
 	haveSector bool
-	// servedGain is the selected sector's pattern gain toward the
+	// servedGain is the selected sector's effective gain toward the
 	// station at selection time; the degrade check compares the current
 	// gain against it.
 	servedGain float64
+	// curGain caches the serving sector's pattern gain at (az, el),
+	// valid while gainValid holds; it is recomputed on drift and on
+	// sector adoption (pure memoization — the cached value is always
+	// exactly what gainToward would return).
+	curGain   float64
+	gainValid bool
+	// bestGain caches the ground-truth best sector gain at (az, el),
+	// valid while bestValid holds; invalidated by drift only (sector
+	// adoption does not move the station).
+	bestGain  float64
+	bestValid bool
 
 	// Impairments.
 	blockEpochsLeft int
@@ -36,10 +50,8 @@ type station struct {
 	faultLossFrac   float64 // consumed by the next training round
 
 	// Lifecycle bookkeeping (virtual time).
-	arrivedAt    time.Duration
-	lastTrainEnd time.Duration
-	retrainAt    time.Duration // degraded backoff deadline
-	round        uint32        // completed + in-flight training rounds
+	arrivedAt time.Duration
+	round     uint32 // completed + in-flight training rounds
 }
 
 // Snapshot is the externally visible state of one station.
@@ -76,7 +88,7 @@ const refDistM = 3.0
 // pathloss, the measured pattern gain toward the station (normalized by
 // the codebook's mean peak gain) and any active blockage attenuation.
 func (m *Manager) trueSNR(st *station, id sector.ID) float64 {
-	p := m.patterns.Get(id)
+	p := m.pat(id)
 	if p == nil {
 		return math.Inf(-1)
 	}
@@ -84,7 +96,7 @@ func (m *Manager) trueSNR(st *station, id sector.ID) float64 {
 	if math.IsNaN(g) {
 		return math.Inf(-1)
 	}
-	snr := m.cfg.refSNRDB - 20*math.Log10(st.dist/refDistM) + g - m.gainRef
+	snr := m.cfg.refSNRDB - st.pathlossDB + g - m.gainRef
 	if st.blockEpochsLeft > 0 {
 		snr -= st.blockAttenDB
 	}
@@ -96,19 +108,44 @@ func (m *Manager) trueSNR(st *station, id sector.ID) float64 {
 // distribution is measured against.
 func (m *Manager) bestSector(st *station) (sector.ID, float64) {
 	best, bestGain := sector.RX, math.Inf(-1)
-	for _, id := range m.txIDs {
-		g := m.patterns.Get(id).At(st.az, st.el)
+	for i, p := range m.txPats {
+		g := p.At(st.az, st.el)
 		if !math.IsNaN(g) && g > bestGain {
-			best, bestGain = id, g
+			best, bestGain = m.txIDs[i], g
 		}
 	}
 	return best, bestGain
 }
 
+// cachedBestGain is bestSector's gain through the per-station memo: the
+// full codebook scan runs only when drift moved the station since the
+// last call.
+func (m *Manager) cachedBestGain(st *station) float64 {
+	if !st.bestValid {
+		_, st.bestGain = m.bestSector(st)
+		st.bestValid = true
+	}
+	return st.bestGain
+}
+
+// refreshCurGain recomputes the serving-gain cache and maintains the
+// hot record's recheck flag: a NaN serving gain (station off the
+// measured grid) must keep the station on the scan's slow path so the
+// degrade check sees it.
+func (m *Manager) refreshCurGain(st *station, h *hotStation) {
+	st.curGain = m.gainToward(st, st.sector)
+	st.gainValid = true
+	if st.curGain != st.curGain {
+		h.flags |= flagRecheck
+	} else {
+		h.flags &^= flagRecheck
+	}
+}
+
 // gainToward returns id's pattern gain toward st (math.NaN when the
 // pattern has no sample there).
 func (m *Manager) gainToward(st *station, id sector.ID) float64 {
-	p := m.patterns.Get(id)
+	p := m.pat(id)
 	if p == nil {
 		return math.NaN()
 	}
@@ -131,10 +168,15 @@ func (m *Manager) effGain(st *station, id sector.ID) float64 {
 // M-of-N probing subset swept over the air, each probe passed through
 // the firmware measurement model, with any pending fault burst dropping
 // a fraction of the reports. dst must have room for m.cfg.probeBudget
-// entries; the round's RNG stream is derived from roundSeed.
+// entries. The round's RNG stream is derived from roundSeed through the
+// manager's reseedable round RNG and the sample scratch — both reused
+// across rounds, both only touched under stepMu (serve synthesizes
+// serially; only the estimation fans out).
 func (m *Manager) synthProbes(st *station, dst []core.Probe) []core.Probe {
-	rng := stats.NewFastRNG(roundSeed(m.cfg.seed, st.id, st.round))
-	idx := rng.Sample(len(m.txIDs), m.cfg.probeBudget)
+	rng := m.roundRNG
+	rng.Reseed(roundSeed(m.cfg.seed, st.id, st.round))
+	idx := rng.SampleInto(m.sampleIdx, len(m.txIDs), m.cfg.probeBudget)
+	m.sampleIdx = idx[:0]
 	// Keep stock sweep order, like dot11ad.SubSweepSchedule.
 	sortInts(idx)
 	dst = dst[:0]

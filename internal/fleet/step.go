@@ -2,7 +2,6 @@ package fleet
 
 import (
 	"context"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,7 +24,8 @@ import (
 //  3. Up to the configured capacity of pending rounds is served: probe
 //     vectors are synthesized into a reused arena and pushed through
 //     core.SelectSectorBatch in bounded chunks — the single estimation
-//     funnel for the whole fleet.
+//     funnel for the whole fleet — each round hinted with its station's
+//     previous selection cell when warm-start is on.
 //  4. Outcomes are applied: successful selections adopt the sector and
 //     transition to tracking; failures fall back to the probed argmax
 //     and degrade. Virtual selection latency (queueing + training
@@ -101,8 +101,21 @@ func (m *Manager) scanShards(epochStart, epochEnd time.Duration) {
 	wg.Wait()
 }
 
-// scanShard drains shard i's event queue and scans its stations. Holds
-// the shard lock throughout so concurrent Arrive/Depart stay safe.
+// scanShard drains shard i's event queue and scans its stations in
+// ascending-ID order along the precomputed order slice. Holds the shard
+// lock throughout so concurrent Arrive/Depart stay safe.
+//
+// The loop is split in two tiers. The fast path covers the steady state
+// — a tracked station with no impairment flags — and reads only the
+// 24-byte hot record: deadline compare, tracked-epoch count, sampled
+// loss observation from the cached gains. Skipping the degrade check
+// there is exact, not approximate: with no drift, no blockage and a
+// non-NaN serving gain, both sides of the check are unchanged since the
+// last slow-path scan or adoption (where it passed — otherwise the
+// station would not be tracking), so it cannot fire. Everything else
+// (any flag set, any other state, or a degrade-always threshold) takes
+// scanSlow, which reproduces the full per-station logic.
+//talon:noalloc
 func (m *Manager) scanShard(i int, epochStart, epochEnd time.Duration) {
 	sh := m.shards[i]
 	sh.mu.Lock()
@@ -126,60 +139,107 @@ func (m *Manager) scanShard(i int, epochStart, epochEnd time.Duration) {
 
 	dt := epochEnd.Seconds() - epochStart.Seconds()
 	epochIx := m.epoch
-	for _, id := range sortedIDs(sh.stations) {
-		st := sh.stations[id]
-		// Mobility drift and blockage expiry happen for every station,
-		// whatever its state.
-		if st.driftDegPerSec != 0 {
-			st.az = wrapAz(st.az + st.driftDegPerSec*dt)
+	stride := m.cfg.lossSampleStride
+	// (id+epoch) % stride == 0  ⟺  id % stride == (stride - epoch%stride) % stride,
+	// so the per-station sampling test is one compare against this
+	// epoch-constant residue.
+	want := uint32((stride - epochIx%stride) % stride)
+	fast := m.fastScan
+	for _, slot := range sh.order {
+		h := &sh.hot[slot]
+		if fast && h.state == StateTracking && h.flags == 0 {
+			if epochStart >= h.deadline {
+				st := &sh.recs[slot]
+				m.toState(h, evRetrain)
+				sh.reqs = append(sh.reqs, request{
+					id: st.id, shardIx: i, retrain: true,
+					trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
+				})
+				metPending.Add(1)
+				continue
+			}
+			sh.partial.trackedEpochs++
+			if h.sampleRes == want {
+				st := &sh.recs[slot]
+				sh.partial.trackLoss.Observe(milliDB(m.cachedBestGain(st) - st.curGain))
+			}
+			continue
 		}
+		m.scanSlow(sh, i, slot, epochStart, epochEnd, dt, epochIx, want)
+	}
+}
+
+// scanSlow is the full per-station epoch scan: mobility drift, blockage
+// expiry and the state-machine actions for every lifecycle state.
+//talon:noalloc
+func (m *Manager) scanSlow(sh *shard, i int, slot int32, epochStart, epochEnd time.Duration, dt float64, epochIx uint64, want uint32) {
+	st, h := &sh.recs[slot], &sh.hot[slot]
+	// Mobility drift and blockage expiry happen for every station,
+	// whatever its state.
+	if h.flags&flagDrift != 0 {
+		st.az = wrapAz(st.az + st.driftDegPerSec*dt)
+		st.gainValid, st.bestValid = false, false
+	}
+	if h.flags&flagBlocked != 0 {
+		st.blockEpochsLeft--
+		if st.blockEpochsLeft <= 0 {
+			st.blockEpochsLeft = 0
+			h.flags &^= flagBlocked
+		}
+	}
+	switch h.state {
+	case StateIdle:
+		m.toState(h, evTrain)
+		//lint:allow noalloc -- sh.reqs arrives resliced to [:0] from scanShard; growth settles after the first training wave (see TestScanZeroAllocSteadyState)
+		sh.reqs = append(sh.reqs, request{
+			id: st.id, shardIx: i,
+			trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
+		})
+		metPending.Add(1)
+	case StateTracking:
+		if !st.gainValid {
+			m.refreshCurGain(st, h)
+		}
+		g := st.curGain
 		if st.blockEpochsLeft > 0 {
-			st.blockEpochsLeft--
+			g -= st.blockAttenDB
 		}
-		switch st.state {
-		case StateIdle:
-			m.toState(st, evTrain)
+		if st.servedGain-g > m.cfg.degradeDropDB || g != g { // g!=g: NaN (drifted off the pattern grid)
+			m.toState(h, evDegrade)
+			sh.partial.degrades++
+			h.deadline = epochEnd + m.cfg.degradedBackoff
+			break
+		}
+		if epochStart >= h.deadline {
+			m.toState(h, evRetrain)
+			//lint:allow noalloc -- sh.reqs arrives resliced to [:0] from scanShard; growth settles after the first training wave (see TestScanZeroAllocSteadyState)
 			sh.reqs = append(sh.reqs, request{
-				id: st.id, shardIx: i,
+				id: st.id, shardIx: i, retrain: true,
 				trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
 			})
 			metPending.Add(1)
-		case StateTracking:
-			g := m.effGain(st, st.sector)
-			if st.servedGain-g > m.cfg.degradeDropDB || g != g { // g!=g: NaN (drifted off the pattern grid)
-				m.toState(st, evDegrade)
-				sh.partial.degrades++
-				st.retrainAt = epochEnd + m.cfg.degradedBackoff
-				break
-			}
-			if epochStart-st.lastTrainEnd >= m.cfg.retrainInterval {
-				m.toState(st, evRetrain)
-				sh.reqs = append(sh.reqs, request{
-					id: st.id, shardIx: i, retrain: true,
-					trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
-				})
-				metPending.Add(1)
-				break
-			}
-			sh.partial.trackedEpochs++
-			if (uint64(st.id)+epochIx)%m.cfg.lossSampleStride == 0 {
-				_, bestGain := m.bestSector(st)
-				sh.partial.trackLoss.Observe(milliDB(bestGain - m.gainToward(st, st.sector)))
-			}
-		case StateDegraded:
-			if epochStart >= st.retrainAt {
-				m.toState(st, evRetrain)
-				sh.reqs = append(sh.reqs, request{
-					id: st.id, shardIx: i, retrain: true,
-					trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
-				})
-				metPending.Add(1)
-			}
+			break
+		}
+		sh.partial.trackedEpochs++
+		if h.sampleRes == want {
+			sh.partial.trackLoss.Observe(milliDB(m.cachedBestGain(st) - st.curGain))
+		}
+	case StateDegraded:
+		if epochStart >= h.deadline {
+			m.toState(h, evRetrain)
+			//lint:allow noalloc -- sh.reqs arrives resliced to [:0] from scanShard; growth settles after the first training wave (see TestScanZeroAllocSteadyState)
+			sh.reqs = append(sh.reqs, request{
+				id: st.id, shardIx: i, retrain: true,
+				trigger: epochStart + triggerJitter(m.cfg.seed, st.id, epochIx, m.cfg.epoch),
+			})
+			metPending.Add(1)
 		}
 	}
 }
 
-// applyEventLocked applies one queued event to its shard.
+// applyEventLocked applies one queued event to its shard, keeping the
+// hot records' impairment flags in sync with the cold fields they
+// summarize.
 func (m *Manager) applyEventLocked(sh *shard, ev Event) {
 	switch ev.Kind {
 	case EventArrival:
@@ -190,23 +250,30 @@ func (m *Manager) applyEventLocked(sh *shard, ev Event) {
 	case EventDeparture:
 		m.departLocked(sh, ev.Station)
 	case EventMobility:
-		if st, ok := sh.stations[ev.Station]; ok {
-			st.driftDegPerSec = ev.DriftDegPerSec
+		if slot, ok := sh.index[ev.Station]; ok {
+			sh.recs[slot].driftDegPerSec = ev.DriftDegPerSec
+			if ev.DriftDegPerSec != 0 {
+				sh.hot[slot].flags |= flagDrift
+			} else {
+				sh.hot[slot].flags &^= flagDrift
+			}
 			metMobilityEvents.Inc()
 		}
 	case EventBlockage:
-		if st, ok := sh.stations[ev.Station]; ok {
+		if slot, ok := sh.index[ev.Station]; ok {
+			st := &sh.recs[slot]
 			st.blockAttenDB = ev.AttenDB
 			epochs := int(ev.Duration / m.cfg.epoch)
 			if epochs < 1 {
 				epochs = 1
 			}
 			st.blockEpochsLeft = epochs
+			sh.hot[slot].flags |= flagBlocked
 			metBlockages.Inc()
 		}
 	case EventFault:
-		if st, ok := sh.stations[ev.Station]; ok {
-			st.faultLossFrac = ev.LossFrac
+		if slot, ok := sh.index[ev.Station]; ok {
+			sh.recs[slot].faultLossFrac = ev.LossFrac
 			metFaultEvents.Inc()
 		}
 	}
@@ -214,12 +281,12 @@ func (m *Manager) applyEventLocked(sh *shard, ev Event) {
 
 // toState takes a legal edge and books the transition metric. Illegal
 // edges are programming errors; they leave the state unchanged.
-func (m *Manager) toState(st *station, ev transEvent) {
-	next, ok := transition(st.state, ev)
+func (m *Manager) toState(h *hotStation, ev transEvent) {
+	next, ok := transition(h.state, ev)
 	if !ok {
 		return
 	}
-	st.state = next
+	h.state = next
 	noteTransition(next)
 }
 
@@ -233,18 +300,6 @@ func triggerJitter(seed int64, id StationID, epoch uint64, d time.Duration) time
 	h = (h ^ epoch) * 0x100000001b3
 	h ^= h >> 32
 	return time.Duration(h % uint64(d))
-}
-
-// sortedIDs returns the shard's station IDs in ascending order so the
-// scan visits stations deterministically (Go's randomized map iteration
-// order is the thing being neutralized).
-func sortedIDs(stations map[StationID]*station) []StationID {
-	ids := make([]StationID, 0, len(stations))
-	for id := range stations {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return ids
 }
 
 // serve runs phase 3+4 for the chosen requests: synthesize probe
@@ -264,56 +319,64 @@ func (m *Manager) serve(ctx context.Context, reqs []request, epochEnd time.Durat
 	return nil
 }
 
+//talon:noalloc
 func (m *Manager) serveChunk(ctx context.Context, chunk []request, epochEnd time.Duration) error {
 	need := len(chunk) * m.cfg.probeBudget
 	if cap(m.arena) < need {
+		//lint:allow noalloc -- grow-only: the probe arena is manager scratch that reaches its steady-state capacity on the first full chunk
 		m.arena = make([]core.Probe, need)
 	}
 	m.arena = m.arena[:need]
 
 	// Synthesize under shard locks; departed or out-of-state stations
-	// are skipped (their slot stays nil and the batch ignores it by
-	// serving a zero-probe vector we filter below).
-	batch := make([][]core.Probe, 0, len(chunk))
-	live := make([]int, 0, len(chunk)) // chunk indices with a live station
+	// are skipped. The batch item and live-index buffers are manager
+	// scratch reused across chunks and epochs.
+	m.items = m.items[:0]
+	m.live = m.live[:0]
+	warm := m.cfg.warmStart
 	for ci, r := range chunk {
 		sh := m.shards[r.shardIx]
 		sh.mu.Lock()
-		st, ok := sh.stations[r.id]
-		if !ok || !inFlight(st.state) {
+		slot, ok := sh.index[r.id]
+		if !ok || !inFlight(sh.hot[slot].state) {
 			sh.mu.Unlock()
 			m.acc.skipped++
 			metPending.Add(-1)
 			continue
 		}
+		st := &sh.recs[slot]
 		dst := m.arena[ci*m.cfg.probeBudget : ci*m.cfg.probeBudget : (ci+1)*m.cfg.probeBudget]
 		probes := m.synthProbes(st, dst)
 		st.round++
+		hint := core.NoCell
+		if warm {
+			hint = sh.hot[slot].cell
+		}
 		sh.mu.Unlock()
-		batch = append(batch, probes)
-		live = append(live, ci)
+		m.items = append(m.items, core.BatchItem{Probes: probes, Hint: hint})
+		m.live = append(m.live, int32(ci))
 	}
-	if len(batch) == 0 {
+	if len(m.items) == 0 {
 		return nil
 	}
-	metBatchItems.Add(int64(len(batch)))
-	results, err := m.est.SelectSectorBatch(ctx, batch, m.cfg.batchWorkers)
+	metBatchItems.Add(int64(len(m.items)))
+	results, err := m.est.SelectSectorBatch(ctx, m.items, m.cfg.batchWorkers)
 	if err != nil {
 		return err
 	}
 
 	for bi, res := range results {
-		r := chunk[live[bi]]
+		r := chunk[m.live[bi]]
 		sh := m.shards[r.shardIx]
 		sh.mu.Lock()
-		st, ok := sh.stations[r.id]
+		slot, ok := sh.index[r.id]
 		if !ok {
 			sh.mu.Unlock()
 			m.acc.skipped++
 			metPending.Add(-1)
 			continue
 		}
-		m.applyOutcome(st, batch[bi], res, r, epochEnd)
+		m.applyOutcome(&sh.recs[slot], &sh.hot[slot], m.items[bi].Probes, res, r, epochEnd)
 		sh.mu.Unlock()
 		metPending.Add(-1)
 	}
@@ -321,8 +384,10 @@ func (m *Manager) serveChunk(ctx context.Context, chunk []request, epochEnd time
 }
 
 // applyOutcome finishes one training round on its station (shard lock
-// held).
-func (m *Manager) applyOutcome(st *station, probes []core.Probe, res core.BatchResult, r request, epochEnd time.Duration) {
+// held): adopt or fall back, arm the next deadline (staleness retrain on
+// success, degraded backoff on failure), refresh the warm-start hint
+// cell and the gain caches, and book the round's tally.
+func (m *Manager) applyOutcome(st *station, h *hotStation, probes []core.Probe, res core.BatchResult, r request, epochEnd time.Duration) {
 	m.acc.trainings++
 	metTrainings.Inc()
 	if r.retrain {
@@ -337,7 +402,9 @@ func (m *Manager) applyOutcome(st *station, probes []core.Probe, res core.BatchR
 	adopted := false
 	if err == nil {
 		st.sector, st.haveSector, adopted = sel.Sector, true, true
-		m.toState(st, evSelectOK)
+		m.toState(h, evSelectOK)
+		h.cell = sel.AoA.Cell
+		h.deadline = epochEnd + m.cfg.retrainInterval
 	} else {
 		m.acc.failures++
 		metSelectFailures.Inc()
@@ -346,13 +413,17 @@ func (m *Manager) applyOutcome(st *station, probes []core.Probe, res core.BatchR
 			m.acc.fallbacks++
 			metFallbacks.Inc()
 		}
-		m.toState(st, evSelectFail)
-		st.retrainAt = epochEnd + m.cfg.degradedBackoff
+		m.toState(h, evSelectFail)
+		h.cell = core.NoCell
+		h.deadline = epochEnd + m.cfg.degradedBackoff
 	}
 	if adopted {
-		st.servedGain = m.effGain(st, st.sector)
-		_, bestGain := m.bestSector(st)
-		m.acc.selLoss.Observe(milliDB(bestGain - m.gainToward(st, st.sector)))
+		m.refreshCurGain(st, h)
+		g := st.curGain
+		if st.blockEpochsLeft > 0 {
+			g -= st.blockAttenDB
+		}
+		st.servedGain = g
+		m.acc.selLoss.Observe(milliDB(m.cachedBestGain(st) - st.curGain))
 	}
-	st.lastTrainEnd = epochEnd
 }

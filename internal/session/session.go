@@ -76,6 +76,15 @@ type CSSPolicy struct {
 	M int
 	// RNG draws the probing subsets.
 	RNG *stats.RNG
+	// Warm chains trainings through the warm-start path: each round
+	// hints the estimator with the previous round's grid cell (see
+	// core.Estimator.SelectSectorWarm). The first round — and every
+	// round after a failed one — runs cold.
+	Warm bool
+
+	// last is the previous successful round's grid cell, fed back as the
+	// next round's warm-start hint when Warm is set.
+	last core.Cell
 }
 
 // Name implements Policy.
@@ -91,10 +100,18 @@ func (p *CSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *wil.Devic
 	if err != nil {
 		return Outcome{}, err
 	}
-	sel, err := p.Estimator.SelectSector(ctx, core.ProbesFromMeasurements(probeSet.IDs(), meas))
+	probes := core.ProbesFromMeasurements(probeSet.IDs(), meas)
+	var sel core.Selection
+	if p.Warm {
+		sel, err = p.Estimator.SelectSectorWarm(ctx, probes, p.last)
+	} else {
+		sel, err = p.Estimator.SelectSector(ctx, probes)
+	}
 	if err != nil {
+		p.last = core.NoCell
 		return Outcome{Probes: p.M}, err
 	}
+	p.last = sel.AoA.Cell
 	return Outcome{
 		Sector:         sel.Sector,
 		Probes:         p.M,
@@ -147,7 +164,7 @@ func (p *EnsembleCSSPolicy) Train(ctx context.Context, link *wil.Link, tx, rx *w
 		loo[i].OK = false
 		batch = append(batch, loo)
 	}
-	results, err := p.Estimator.SelectSectorBatch(ctx, batch, 0)
+	results, err := p.Estimator.SelectSectorBatch(ctx, core.BatchOf(batch), 0)
 	if err != nil {
 		return Outcome{Probes: p.M}, err
 	}

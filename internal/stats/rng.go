@@ -89,6 +89,33 @@ func (g *RNG) Sample(n, k int) []int {
 	return p[:k]
 }
 
+// SampleInto is Sample with caller-owned scratch: dst is grown to n
+// entries if needed and the first k of a fresh permutation are returned.
+// The generator draws are exactly Sample's (the loop mirrors
+// math/rand.Perm), so replacing Sample with SampleInto never shifts a
+// seeded stream.
+func (g *RNG) SampleInto(dst []int, n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: Sample size out of range")
+	}
+	if cap(dst) < n {
+		dst = make([]int, n)
+	}
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		j := g.r.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst[:k]
+}
+
+// Reseed resets the generator to the stream a fresh RNG over the same
+// source kind would produce for seed. Reseeding a NewFastRNG-backed RNG
+// is equivalent to (and far cheaper than) constructing a new one per
+// round: two words of source state instead of a fresh allocation.
+func (g *RNG) Reseed(seed int64) { g.r.Seed(seed) }
+
 // Shuffle randomizes the order of the n elements using swap.
 func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
 

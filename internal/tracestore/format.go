@@ -70,6 +70,10 @@ var (
 	// ErrSplitStraddle reports a shard whose seed range crosses the
 	// requested in-sample/out-of-sample boundary.
 	ErrSplitStraddle = errors.New("tracestore: shard straddles split boundary")
+	// ErrSplitFolds reports a k-fold split with fewer shards than
+	// folds; shards are the atomic unit, so each fold needs at least
+	// one.
+	ErrSplitFolds = errors.New("tracestore: not enough shards for k-fold split")
 )
 
 // Header describes one finalized shard file.

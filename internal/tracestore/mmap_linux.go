@@ -1,0 +1,30 @@
+//go:build linux
+
+package tracestore
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mapFile maps f read-only in its entirety and returns the mapping
+// with its release function. Callers treat any error as "use the
+// buffered path for this file" — an empty file (a shard is never
+// empty, but mmap(2) rejects length 0) or an unmappable filesystem
+// degrades gracefully instead of failing the replay.
+func mapFile(f *os.File) ([]byte, func() error, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil, errors.New("tracestore: file size not mappable")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

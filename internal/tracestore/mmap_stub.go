@@ -1,0 +1,15 @@
+//go:build !linux
+
+package tracestore
+
+import (
+	"errors"
+	"os"
+)
+
+// mapFile on platforms without a wired mmap implementation always
+// reports failure; OpenReaderMapped then falls back to the buffered
+// path, so the mapped API stays portable with identical semantics.
+func mapFile(*os.File) ([]byte, func() error, error) {
+	return nil, nil, errors.New("tracestore: mmap not supported on this platform")
+}

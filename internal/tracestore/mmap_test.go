@@ -1,0 +1,163 @@
+package tracestore
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+
+	"talon/internal/stats"
+)
+
+// TestMappedReplayByteIdentity replays the same shard set through the
+// buffered and the memory-mapped read paths and requires every record
+// to match field for field — the mapped path is an execution detail,
+// never a semantic one.
+func TestMappedReplayByteIdentity(t *testing.T) {
+	const (
+		m        = 9
+		n        = 1800
+		perShard = 500
+	)
+	codec, err := NewTrialCodec(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	w, err := NewWriter(codec, dir, "mm", WriterOptions{RecordsPerShard: perShard, BlockRecords: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(11)
+	for i := 0; i < n; i++ {
+		if err := w.Append(uint64(i), mkTrial(rng, uint64(i), m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shards, err := Discover(dir, "mm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	collect := func(mapped bool, workers int) []Trial {
+		t.Helper()
+		got := make([]Trial, n)
+		var mu sync.Mutex
+		replay := ReplayShards[Trial]
+		if mapped {
+			replay = ReplayShardsMapped[Trial]
+		}
+		err := replay(context.Background(), codec, shards, workers, func(_ int, recs []Trial) error {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range recs {
+				got[r.Seed] = r
+				got[r.Seed].Probes = append([]ProbeSample(nil), r.Probes...)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("mapped=%v workers=%d: %v", mapped, workers, err)
+		}
+		return got
+	}
+
+	for _, workers := range []int{1, 3} {
+		buffered := collect(false, workers)
+		mapped := collect(true, workers)
+		for i := range buffered {
+			if !trialsEqual(buffered[i], mapped[i]) {
+				t.Fatalf("workers=%d record %d: buffered and mapped replay disagree:\n buffered %+v\n   mapped %+v",
+					workers, i, buffered[i], mapped[i])
+			}
+		}
+	}
+}
+
+// TestMappedReaderEngages proves OpenReaderMapped actually maps on
+// linux (and degrades to the buffered path elsewhere), survives Reopen
+// across files, and still detects trailing junk.
+func TestMappedReaderEngages(t *testing.T) {
+	codec, _ := NewTrialCodec(6)
+	dir := t.TempDir()
+	writeOneShard(t, dir, 100, 6)
+	path := ShardPath(dir, "one", 0)
+
+	r, err := OpenReaderMapped(codec, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if runtime.GOOS == "linux" && r.data == nil {
+		t.Fatal("linux: mapped open fell back to buffered reads")
+	}
+	if runtime.GOOS != "linux" && r.data != nil {
+		t.Fatal("non-linux stub unexpectedly produced a mapping")
+	}
+	var recs int
+	for {
+		block, err := r.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs += len(block)
+	}
+	if recs != 100 {
+		t.Fatalf("mapped read decoded %d records, want 100", recs)
+	}
+
+	// Reopen re-attempts the mapping on the next file.
+	if err := r.Reopen(path); err != nil {
+		t.Fatal(err)
+	}
+	if runtime.GOOS == "linux" && r.data == nil {
+		t.Fatal("linux: Reopen dropped the mapping preference")
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("read after Reopen: %v", err)
+	}
+}
+
+// TestMappedReaderTrailingJunk mirrors the buffered corruption check on
+// the mapped path: bytes after the final block are an error, not
+// silently ignored.
+func TestMappedReaderTrailingJunk(t *testing.T) {
+	codec, _ := NewTrialCodec(6)
+	dir := t.TempDir()
+	writeOneShard(t, dir, 50, 6)
+	path := ShardPath(dir, "one", 0)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xAA}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReaderMapped(codec, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for {
+		_, err = r.Next()
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing junk on mapped path: got %v, want ErrCorrupt", err)
+	}
+}

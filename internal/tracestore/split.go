@@ -2,6 +2,46 @@ package tracestore
 
 import "fmt"
 
+// SplitKFold partitions shards into k contiguous folds for k-fold
+// cross-validation. Folds are cut on whole-shard boundaries only (a
+// shard is the atomic unit of seed coverage, as in SplitBySeed), each
+// fold is non-empty, and the folds are disjoint, ordered and together
+// exhaust the input — concatenating them reproduces shards exactly, so
+// the k folds partition the covered seed range. Record counts are
+// balanced greedily: fold f closes once its cumulative record count
+// reaches the f/k-th proportional cut, subject to leaving one shard
+// for every remaining fold.
+func SplitKFold(shards []Shard, k int) ([][]Shard, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("tracestore: k-fold split needs k >= 2, got %d", k)
+	}
+	if len(shards) < k {
+		return nil, fmt.Errorf("%w: %d shards cannot fill %d folds", ErrSplitFolds, len(shards), k)
+	}
+	var total uint64
+	for _, s := range shards {
+		total += s.Header.Records
+	}
+	folds := make([][]Shard, k)
+	start, cum := 0, uint64(0)
+	for f := 0; f < k; f++ {
+		// Every fold takes at least one shard; the loop then extends it
+		// to the proportional cut while reserving one shard per
+		// remaining fold. The last fold's cut is total, so it absorbs
+		// whatever is left.
+		end := start + 1
+		cum += shards[start].Header.Records
+		cut := total * uint64(f+1) / uint64(k)
+		for end < len(shards)-(k-f-1) && cum+shards[end].Header.Records <= cut {
+			cum += shards[end].Header.Records
+			end++
+		}
+		folds[f] = shards[start:end:end]
+		start = end
+	}
+	return folds, nil
+}
+
 // SplitBySeed partitions shards into the in-sample set (every record
 // seed < boundary) and the out-of-sample set (every record seed >=
 // boundary). Because writers keep seeds non-decreasing, each shard

@@ -1,0 +1,120 @@
+package tracestore
+
+import (
+	"errors"
+	"testing"
+
+	"talon/internal/stats"
+)
+
+// writeFoldShards writes n seeds 0..n-1 across shards of perShard
+// records and returns the discovered shard set.
+func writeFoldShards(t *testing.T, n, perShard int) []Shard {
+	t.Helper()
+	const m = 5
+	codec, _ := NewTrialCodec(m)
+	dir := t.TempDir()
+	w, err := NewWriter(codec, dir, "fold", WriterOptions{RecordsPerShard: perShard, BlockRecords: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(21)
+	for i := 0; i < n; i++ {
+		if err := w.Append(uint64(i), mkTrial(rng, uint64(i), m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	shards, err := w.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return shards
+}
+
+// TestSplitKFold is the partition property test: for every k the folds
+// are non-empty, disjoint, ordered, cut on whole-shard boundaries and
+// together cover the seed range exactly — concatenating the folds
+// reproduces the input shard list, and consecutive folds' seed ranges
+// abut with no gap or overlap.
+func TestSplitKFold(t *testing.T) {
+	for _, tc := range []struct{ n, perShard int }{
+		{1000, 100}, // 10 equal shards
+		{930, 125},  // 8 shards with a short tail
+		{60, 13},    // 5 ragged shards
+	} {
+		shards := writeFoldShards(t, tc.n, tc.perShard)
+		for k := 2; k <= len(shards); k++ {
+			folds, err := SplitKFold(shards, k)
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", tc.n, k, err)
+			}
+			if len(folds) != k {
+				t.Fatalf("n=%d k=%d: got %d folds", tc.n, k, len(folds))
+			}
+			// Concatenation reproduces the input exactly: same shards,
+			// same order, each exactly once.
+			next := 0
+			var recs uint64
+			for f, fold := range folds {
+				if len(fold) == 0 {
+					t.Fatalf("n=%d k=%d: fold %d empty", tc.n, k, f)
+				}
+				for _, s := range fold {
+					if next >= len(shards) || s.Path != shards[next].Path {
+						t.Fatalf("n=%d k=%d: fold %d breaks shard order at %s", tc.n, k, f, s.Path)
+					}
+					next++
+					recs += s.Header.Records
+				}
+				// Seed ranges of consecutive folds abut exactly.
+				if f > 0 {
+					prev := folds[f-1]
+					if prev[len(prev)-1].Header.SeedHi != fold[0].Header.SeedLo {
+						t.Fatalf("n=%d k=%d: gap or overlap between folds %d and %d", tc.n, k, f-1, f)
+					}
+				}
+			}
+			if next != len(shards) {
+				t.Fatalf("n=%d k=%d: folds cover %d of %d shards", tc.n, k, next, len(shards))
+			}
+			if recs != uint64(tc.n) {
+				t.Fatalf("n=%d k=%d: folds cover %d of %d records", tc.n, k, recs, tc.n)
+			}
+			if lo, hi := folds[0][0].Header.SeedLo, folds[k-1][len(folds[k-1])-1].Header.SeedHi; lo != 0 || hi != uint64(tc.n) {
+				t.Fatalf("n=%d k=%d: folds cover seeds [%d,%d), want [0,%d)", tc.n, k, lo, hi, tc.n)
+			}
+		}
+	}
+}
+
+// TestSplitKFoldBalance checks the greedy record balancing on equal
+// shards: with n divisible by k·perShard every fold gets exactly n/k
+// records.
+func TestSplitKFoldBalance(t *testing.T) {
+	shards := writeFoldShards(t, 1200, 100) // 12 shards x 100 records
+	for _, k := range []int{2, 3, 4, 6, 12} {
+		folds, err := SplitKFold(shards, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for f, fold := range folds {
+			var recs uint64
+			for _, s := range fold {
+				recs += s.Header.Records
+			}
+			if recs != uint64(1200/k) {
+				t.Fatalf("k=%d fold %d holds %d records, want %d", k, f, recs, 1200/k)
+			}
+		}
+	}
+}
+
+func TestSplitKFoldErrors(t *testing.T) {
+	shards := writeFoldShards(t, 30, 10) // 3 shards
+	if _, err := SplitKFold(shards, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := SplitKFold(shards, 4); !errors.Is(err, ErrSplitFolds) {
+		t.Fatalf("k>shards: got %v, want ErrSplitFolds", err)
+	}
+}
